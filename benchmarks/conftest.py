@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper.  They run
+the experiment exactly once per benchmark (the simulator is deterministic
+— repetition adds nothing) and print the regenerated artifact.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def show():
+    """Print through pytest's capture so regenerated artifacts appear."""
+    import sys
+
+    def _show(text: str) -> None:
+        sys.stderr.write("\n" + text + "\n")
+
+    return _show

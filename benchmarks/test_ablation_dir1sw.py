@@ -1,0 +1,56 @@
+"""Ablation: Dir1H1SB,LACK (Dir1SW) vs DirnH1SNB,LACK (Section 2.5).
+
+The two protocols differ in one design decision: Dir1SW records only one
+explicit pointer and *broadcasts* invalidations when more copies exist,
+while the LimitLESS one-pointer protocol extends the directory in
+software.  Consequences the paper states: Dir1SW never traps on read
+requests, but must broadcast on writes to multi-copy blocks.
+"""
+
+from repro.analysis.report import format_table
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.worker import WorkerBenchmark
+
+from conftest import run_once
+
+
+def compare():
+    out = {}
+    for protocol in ("Dir1H1SB,LACK", "DirnH1SNB,LACK"):
+        for size in (2, 6):
+            machine = Machine(MachineParams(n_nodes=16), protocol=protocol)
+            stats = machine.run(
+                WorkerBenchmark(worker_set_size=size, iterations=3))
+            out[(protocol, size)] = {
+                "cycles": stats.run_cycles,
+                "read_traps": stats.traps_by_kind().get("read_overflow", 0),
+                "sw_invs": stats.total("invalidations_sw"),
+            }
+    return out
+
+
+def test_ablation_dir1sw_vs_limitless1(benchmark, show):
+    results = run_once(benchmark, compare)
+    show(format_table(
+        ["Protocol", "Worker set", "Run cycles", "Read traps", "SW invs"],
+        [(p, s, v["cycles"], v["read_traps"], v["sw_invs"])
+         for (p, s), v in results.items()],
+        title="Ablation: Dir1SW broadcast vs LimitLESS-1 extension",
+    ))
+
+    for size in (2, 6):
+        dir1sw = results[("Dir1H1SB,LACK", size)]
+        limitless = results[("DirnH1SNB,LACK", size)]
+        # Dir1SW never traps on reads; LimitLESS-1 does.
+        assert dir1sw["read_traps"] == 0
+        assert limitless["read_traps"] > 0
+        # Dir1SW broadcasts: 15 software invalidations per overflowed
+        # write vs the exact worker set for LimitLESS.
+        assert dir1sw["sw_invs"] > limitless["sw_invs"]
+
+    # With small worker sets the broadcast is waste; with the exact-set
+    # cost of WORKER the extension protocol sends only what is needed.
+    d2 = results[("Dir1H1SB,LACK", 2)]["sw_invs"]
+    l2 = results[("DirnH1SNB,LACK", 2)]["sw_invs"]
+    assert d2 >= 4 * l2

@@ -1,0 +1,59 @@
+"""Ablation: flexible (C) vs optimized (assembly) protocol software
+(Section 4).
+
+The hand-tuned implementation roughly halves handler latency (Tables 1
+and 2).  This ablation measures how much of that factor survives at the
+application level, where handler time is only part of the run time.
+"""
+
+from repro.analysis.report import format_table
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.evolve import Evolve
+from repro.workloads.worker import WorkerBenchmark
+
+from conftest import run_once
+
+
+def compare():
+    out = {}
+    for software in ("flexible", "optimized"):
+        machine = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB",
+                          software=software)
+        stats = machine.run(WorkerBenchmark(worker_set_size=12,
+                                            iterations=3))
+        out[("worker", software)] = (stats.run_cycles,
+                                     stats.total("handler_cycles"))
+    for software in ("flexible", "optimized"):
+        machine = Machine(
+            MachineParams(n_nodes=64, victim_cache_enabled=True),
+            protocol="DirnH5SNB", software=software)
+        stats = machine.run(Evolve())
+        out[("evolve", software)] = (stats.run_cycles,
+                                     stats.total("handler_cycles"))
+    return out
+
+
+def test_ablation_software_implementation(benchmark, show):
+    results = run_once(benchmark, compare)
+    show(format_table(
+        ["Workload", "Software", "Run cycles", "Handler cycles"],
+        [(wl, sw, *v) for (wl, sw), v in results.items()],
+        title="Ablation: flexible (C) vs optimized (assembly) handlers",
+    ))
+
+    # Handler occupancy drops by roughly the Table 1 factor of two.
+    for workload in ("worker", "evolve"):
+        flex = results[(workload, "flexible")]
+        opt = results[(workload, "optimized")]
+        assert 1.5 <= flex[1] / opt[1] <= 3.0
+        # Run time improves, but by less than the handler factor (the
+        # network and user code are untouched).
+        assert opt[0] < flex[0]
+        assert flex[0] / opt[0] < flex[1] / opt[1] + 0.5
+
+    # On the WORKER stress test most of the time *is* handler time, so
+    # the end-to-end win is substantial.
+    worker_gain = (results[("worker", "flexible")][0]
+                   / results[("worker", "optimized")][0])
+    assert worker_gain > 1.25

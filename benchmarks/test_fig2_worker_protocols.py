@@ -1,0 +1,86 @@
+"""Figure 2: WORKER run time relative to full map vs worker-set size.
+
+Paper claims (16 nodes):
+- more hardware pointers -> better performance;
+- DirnH5SNB equals full map while worker sets fit in the pointers;
+- DirnH0SNB,ACK is significantly worse than everything else;
+- DirnH1SNB,ACK is significantly worse than the one-pointer protocols
+  that count acknowledgements in hardware;
+- DirnH1SNB tracks DirnH2SNB closely (it needs the same storage).
+"""
+
+from repro.analysis.experiments import fig2_worker_ratios
+from repro.analysis.report import format_series_plot, format_table
+
+from conftest import run_once
+
+SIZES = (1, 2, 4, 8, 12, 16)
+PROTOCOLS = (
+    "DirnH0SNB,ACK",
+    "DirnH1SNB,ACK",
+    "DirnH1SNB,LACK",
+    "DirnH1SNB",
+    "DirnH2SNB",
+    "DirnH3SNB",
+    "DirnH4SNB",
+    "DirnH5SNB",
+)
+
+
+def test_fig2_worker_set_curves(benchmark, show):
+    curves = run_once(benchmark, fig2_worker_ratios,
+                      sizes=SIZES, protocols=PROTOCOLS)
+
+    headers = ["Protocol"] + [f"ws={s}" for s in SIZES]
+    rows = []
+    for protocol in PROTOCOLS:
+        ratios = dict(curves[protocol])
+        rows.append([protocol] + [ratios[s] for s in SIZES])
+    show(format_table(
+        headers, rows,
+        title="Figure 2: run time relative to full map (16 nodes)",
+    ))
+    show(format_series_plot(
+        {p: [(float(s), r) for s, r in curves[p]] for p in PROTOCOLS},
+        title="Figure 2 (plotted): ratio vs worker-set size",
+    ))
+
+    def ratio(protocol, size):
+        return dict(curves[protocol])[size]
+
+    # Full-map normalisation: every ratio >= ~1.
+    for protocol in PROTOCOLS:
+        for size in SIZES:
+            assert ratio(protocol, size) > 0.9
+
+    # H5 equals full map while the worker sets fit in hardware.
+    for size in (1, 2, 4):
+        assert ratio("DirnH5SNB", size) < 1.1
+    # ... and drops once they do not.
+    assert ratio("DirnH5SNB", 16) > 1.2
+
+    # The software-only directory is the worst curve at every size.
+    for size in SIZES:
+        others = [ratio(p, size) for p in PROTOCOLS if p != "DirnH0SNB,ACK"]
+        assert ratio("DirnH0SNB,ACK", size) >= max(others) * 0.99
+
+    # Section 2.4's ordering of the one-pointer variants: trapping on
+    # every acknowledgement is worst, hardware counting is best, and
+    # LACK sits in between.
+    for size in (8, 12, 16):
+        assert (ratio("DirnH1SNB,ACK", size)
+                >= ratio("DirnH1SNB,LACK", size)
+                >= ratio("DirnH1SNB", size))
+        assert (ratio("DirnH1SNB,ACK", size)
+                > 1.05 * ratio("DirnH1SNB", size))
+
+    # DirnH1SNB performs close to DirnH2SNB (same directory storage).
+    for size in (8, 16):
+        assert ratio("DirnH1SNB", size) < 1.6 * ratio("DirnH2SNB", size)
+
+    # Pointers help: the 4/5-pointer protocols beat every one-pointer
+    # variant at every nontrivial size.
+    for size in (8, 12, 16):
+        for big in ("DirnH4SNB", "DirnH5SNB"):
+            assert ratio(big, size) <= ratio("DirnH1SNB", size)
+            assert ratio(big, size) <= ratio("DirnH2SNB", size) * 1.05

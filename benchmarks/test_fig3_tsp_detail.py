@@ -1,0 +1,67 @@
+"""Figure 3: TSP detailed 64-node performance analysis.
+
+Three configurations per protocol: the base run (instruction/data
+thrashing in the combined direct-mapped cache), *perfect ifetch* (the
+simulator option that removes instructions from the memory system), and
+victim caching (Alewife's hardware fix).
+
+Paper claims:
+- in the base run, DirnH5SNB performs about 3x worse than full map
+  because two globally-shared blocks thrash against hot code lines;
+- with perfect ifetch, every protocol except the software-only
+  directory performs close to full map;
+- victim caching recovers nearly all of the loss (and improves the
+  full-map run itself by ~16%);
+- the software-only directory with victim caching achieves a large
+  fraction of full map ("almost 70%" in the paper).
+"""
+
+from repro.analysis.experiments import fig3_tsp_detail
+from repro.analysis.report import format_table
+
+from conftest import run_once
+
+PROTOCOLS = ("DirnH0SNB,ACK", "DirnH1SNB,ACK", "DirnH2SNB",
+             "DirnH5SNB", "DirnHNBS-")
+
+
+def test_fig3_tsp_detail(benchmark, show):
+    results = run_once(benchmark, fig3_tsp_detail, protocols=PROTOCOLS)
+
+    configs = list(results)
+    rows = []
+    for protocol in PROTOCOLS:
+        rows.append([protocol] + [results[c][protocol] for c in configs])
+    show(format_table(["Protocol"] + configs, rows,
+                      title="Figure 3: TSP speedups on 64 nodes"))
+
+    base = results["base"]
+    perfect = results["perfect ifetch"]
+    victim = results["victim cache"]
+    full = "DirnHNBS-"
+
+    # Thrashing hits the software-extended protocols hard: H5 is at
+    # least 2x worse than full map in the base configuration.
+    assert base[full] / base["DirnH5SNB"] > 2.0
+
+    # Perfect instruction fetching restores H5 to near full map.
+    assert perfect["DirnH5SNB"] / perfect[full] > 0.8
+    # And so does the victim cache.
+    assert victim["DirnH5SNB"] / victim[full] > 0.8
+
+    # The victim cache also helps the full-map run itself (the paper
+    # reports a 16% gain; ours is smaller but positive).
+    assert victim[full] >= base[full]
+
+    # The software-only directory stays the slowest configuration but
+    # becomes usable with victim caching.
+    assert victim["DirnH0SNB,ACK"] / victim[full] > 0.3
+    for config in (perfect, victim):
+        others = [config[p] for p in PROTOCOLS if p != "DirnH0SNB,ACK"]
+        assert config["DirnH0SNB,ACK"] <= min(others) * 1.01
+    # In the thrashed base run H0 and H1,ACK are both crushed; their
+    # exact order is noise, but both sit far below everything else.
+    assert base["DirnH0SNB,ACK"] <= base["DirnH2SNB"] * 0.8
+
+    # Pointer ordering in the base (thrashed) configuration.
+    assert base[full] >= base["DirnH5SNB"] >= base["DirnH1SNB,ACK"] * 0.95

@@ -1,0 +1,34 @@
+"""Figure 5: TSP on a 256-node machine (victim caching enabled).
+
+The paper reports speedups of 142 for full map and 134 for five
+pointers — the software-extended system within 6% of full map even at
+256 nodes, with the gap attributed to the start-up transient of
+distributing data to 256 nodes.  Our scaled problem keeps the shape:
+five pointers close to full map, the one-pointer and software-only
+protocols ordered below it.
+"""
+
+from repro.analysis.experiments import fig5_tsp_256, relative_performance
+from repro.analysis.report import format_bar_chart
+
+from conftest import run_once
+
+PROTOCOLS = ("DirnH0SNB,ACK", "DirnH1SNB,ACK", "DirnH2SNB",
+             "DirnH5SNB", "DirnHNBS-")
+
+
+def test_fig5_tsp_256(benchmark, show):
+    speedups = run_once(benchmark, fig5_tsp_256, protocols=PROTOCOLS)
+    show(format_bar_chart(list(speedups), list(speedups.values()),
+                          title="Figure 5: TSP on 256 nodes (speedup)"))
+
+    rel = relative_performance(speedups)
+    # Five pointers stay close to full map at 256 nodes (paper: 94%).
+    assert rel["DirnH5SNB"] > 0.8
+    # Ordering across the spectrum.
+    assert (speedups["DirnHNBS-"] >= speedups["DirnH5SNB"]
+            >= speedups["DirnH2SNB"] * 0.95)
+    assert speedups["DirnH0SNB,ACK"] == min(speedups.values())
+    # 256 nodes on the same problem should not beat the paper's point
+    # that speedups remain "remarkable": full map still scales.
+    assert speedups["DirnHNBS-"] > 10

@@ -1,0 +1,51 @@
+"""Table 1: average software-extension latencies, C vs assembly.
+
+Paper values (execution cycles, DirnH5SNB on 16 nodes):
+
+    readers | C read | asm read | C write | asm write
+          8 |    436 |      162 |     726 |       375
+         12 |    397 |      141 |     714 |       393
+         16 |    386 |      138 |     797 |       420
+"""
+
+from repro.analysis.experiments import table1_handler_latencies
+from repro.analysis.report import format_table
+
+from conftest import run_once
+
+PAPER = {
+    8: (436, 162, 726, 375),
+    12: (397, 141, 714, 393),
+    16: (386, 138, 797, 420),
+}
+
+
+def test_table1_handler_latencies(benchmark, show):
+    rows = run_once(benchmark, table1_handler_latencies,
+                    readers=(8, 12, 16))
+    table = format_table(
+        ["Readers/Block", "C Read", "Asm Read", "C Write", "Asm Write"],
+        [(r.readers, r.c_read, r.asm_read, r.c_write, r.asm_write)
+         for r in rows],
+        title="Table 1: mean software handler latencies (cycles)",
+    )
+    show(table)
+
+    for row in rows:
+        paper = PAPER[row.readers]
+        # Within tolerance of the paper's measurements.  Known deviation:
+        # the paper's read latencies decline slightly with more readers
+        # (436 -> 386) because its measured request mix varies; our read
+        # handler always empties exactly five pointers, so the model
+        # holds them constant at the 8-reader median.
+        assert abs(row.c_read - paper[0]) / paper[0] < 0.40
+        assert abs(row.asm_read - paper[1]) / paper[1] < 0.40
+        assert abs(row.c_write - paper[2]) / paper[2] < 0.20
+        assert abs(row.asm_write - paper[3]) / paper[3] < 0.20
+        # ...and the headline claim: hand-tuned assembly roughly halves
+        # handler latency (Section 4.2).
+        assert 1.6 <= row.c_read / row.asm_read <= 3.0
+        assert 1.5 <= row.c_write / row.asm_write <= 2.5
+    # Write latency grows with the number of readers to invalidate.
+    assert rows[-1].c_write > rows[0].c_write
+    assert rows[-1].asm_write > rows[0].asm_write

@@ -1,0 +1,64 @@
+"""Table 2: per-activity cycle breakdown of median read/write handlers
+(8 readers, 1 writer per block).
+
+Paper totals: C read 480, asm read 193, C write 737, asm write 384.
+"""
+
+from repro.analysis.experiments import table2_breakdowns
+from repro.analysis.report import format_table
+from repro.core.software.costmodel import TABLE2_ACTIVITIES
+
+from conftest import run_once
+
+PAPER_TOTALS = {
+    ("read", "flexible"): 480,
+    ("read", "optimized"): 193,
+    ("write", "flexible"): 737,
+    ("write", "optimized"): 384,
+}
+
+PAPER_ROWS = {
+    # activity -> (C read, asm read, C write, asm write); None = N/A
+    "trap dispatch": (11, 11, 9, 11),
+    "system message dispatch": (14, 15, 14, 15),
+    "protocol-specific dispatch": (10, None, 10, None),
+    "decode and modify hardware directory": (22, 17, 52, 40),
+    "save state for function calls": (24, None, 17, None),
+    "memory management": (60, 65, 28, 11),
+    "hash table administration": (80, None, 74, None),
+    "store pointers into extended directory": (235, 74, 99, 45),
+    "invalidation lookup and transmit": (None, None, 419, 251),
+    "support for non-Alewife protocols": (10, None, 6, None),
+    "trap return": (14, 11, 9, 11),
+}
+
+
+def test_table2_cycle_breakdown(benchmark, show):
+    breakdowns = run_once(benchmark, table2_breakdowns)
+
+    columns = [("read", "flexible"), ("read", "optimized"),
+               ("write", "flexible"), ("write", "optimized")]
+    rows = []
+    for activity in TABLE2_ACTIVITIES:
+        row = [activity]
+        for key in columns:
+            value = breakdowns.get(key, {}).get(activity)
+            row.append("N/A" if value is None else value)
+        rows.append(row)
+    rows.append(["total (median latency)"]
+                + [sum(breakdowns.get(key, {}).values()) for key in columns])
+    show(format_table(
+        ["Activity", "C Read", "Asm Read", "C Write", "Asm Write"],
+        rows, title="Table 2: median handler cycle breakdown",
+    ))
+
+    # The medians reproduce the paper's breakdown exactly by design.
+    for key, total in PAPER_TOTALS.items():
+        assert sum(breakdowns[key].values()) == total
+    for activity, paper in PAPER_ROWS.items():
+        for key, expected in zip(columns, paper):
+            measured = breakdowns[key].get(activity)
+            if expected is None:
+                assert measured is None
+            else:
+                assert measured == expected, (activity, key)

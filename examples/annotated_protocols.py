@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Profile, detect, and optimize (paper Section 7).
+
+Alewife reconfigures coherence protocols block-by-block (Section 3.1);
+the paper's enhancement section proposes using enhanced protocol
+software in a *profiling mode* during development to detect
+widely-shared read-only data, then optimising the production version.
+
+This example runs the full workflow on EVOLVE: its fitness table is read
+by most of the machine and never written, so every re-read past the
+pointer capacity costs a read-overflow trap under `DirnH5SNB`.  The
+profiler finds those blocks; the production machine configures them with
+the broadcast protocol (`Dir1H1SB,LACK`), whose reads never trap — the
+broadcast penalty is never paid, because the data is never written.
+"""
+
+from repro import Machine, MachineParams
+from repro.analysis import (
+    AccessProfiler,
+    apply_read_only_protocol,
+    format_table,
+    read_only_blocks,
+)
+from repro.workloads import Evolve
+
+
+def make_machine() -> Machine:
+    return Machine(MachineParams(n_nodes=64, victim_cache_enabled=True),
+                   protocol="DirnH5SNB")
+
+
+def main() -> None:
+    print("1. Profiling run (development mode)...")
+    profiling_machine = make_machine()
+    profiling_machine.profiler = AccessProfiler()
+    profiling_machine.run(Evolve())
+    candidates = read_only_blocks(profiling_machine.profiler,
+                                  min_readers=6)
+    print(f"   {len(profiling_machine.profiler)} blocks profiled, "
+          f"{len(candidates)} widely-shared read-only candidates\n")
+
+    print("2. Production run with annotated blocks...")
+    production = make_machine()
+    apply_read_only_protocol(production, candidates)
+    optimized = production.run(Evolve())
+
+    print("3. Reference runs...\n")
+    baseline = make_machine().run(Evolve())
+    full_map = Machine(
+        MachineParams(n_nodes=64, victim_cache_enabled=True),
+        protocol="DirnHNBS-").run(Evolve())
+
+    rows = [
+        ("DirnH5SNB (baseline)", baseline.run_cycles,
+         baseline.total_traps, f"{baseline.speedup:.1f}"),
+        ("DirnH5SNB + annotations", optimized.run_cycles,
+         optimized.total_traps, f"{optimized.speedup:.1f}"),
+        ("DirnHNBS- (full map)", full_map.run_cycles,
+         full_map.total_traps, f"{full_map.speedup:.1f}"),
+    ]
+    print(format_table(
+        ["Configuration", "Run cycles", "Traps", "Speedup"],
+        rows, title="EVOLVE on 64 nodes",
+    ))
+    print()
+    gain = baseline.run_cycles / optimized.run_cycles
+    closed = ((optimized.speedup - baseline.speedup)
+              / max(full_map.speedup - baseline.speedup, 1e-9))
+    print(f"The annotations make the five-pointer system {gain:.2f}x "
+          f"faster, closing {closed:.0%} of its gap to full map — the "
+          f"payoff the paper's Section 7 anticipates.")
+
+
+if __name__ == "__main__":
+    main()

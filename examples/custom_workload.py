@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Writing your own workload against the public API.
+
+A workload is an SPMD program: ``setup`` allocates shared memory on the
+machine's heap, and ``thread`` yields architectural operations for each
+node (reads, writes, compute bursts, barriers).  This example implements
+a ring pipeline — each node repeatedly writes a buffer that its right
+neighbour reads — and measures how the protocols handle its strictly
+pairwise sharing (worker sets of size two, like AQ's producer/consumer
+pattern).
+"""
+
+from typing import Iterator
+
+from repro import Machine, MachineParams
+from repro.analysis import format_table
+from repro.workloads import Op, Workload
+
+
+class RingPipeline(Workload):
+    """Each node writes a buffer; its right neighbour reads it."""
+
+    name = "ring"
+
+    def __init__(self, rounds: int = 12, blocks_per_link: int = 2) -> None:
+        self.rounds = rounds
+        self.blocks_per_link = blocks_per_link
+
+    def setup(self, machine: Machine) -> None:
+        n = machine.params.n_nodes
+        self._code = machine.register_code("ring-stage", lines=1)
+        # One buffer per link, homed at the producing node.
+        self.buffers = [
+            [machine.heap.alloc_block(node)
+             for _ in range(self.blocks_per_link)]
+            for node in range(n)
+        ]
+
+    def thread(self, machine: Machine, node_id: int) -> Iterator[Op]:
+        n = machine.params.n_nodes
+        left = (node_id - 1) % n
+        for _round in range(self.rounds):
+            # Produce into my buffer.
+            for addr in self.buffers[node_id]:
+                yield ("write", addr)
+                yield ("compute", 40, self._code)
+            yield ("barrier",)
+            # Consume my left neighbour's buffer.
+            for addr in self.buffers[left]:
+                yield ("read", addr)
+                yield ("compute", 40, self._code)
+            yield ("barrier",)
+
+
+def main() -> None:
+    print("Ring pipeline (pairwise sharing) across the spectrum...\n")
+    rows = []
+    for protocol in ("DirnH0SNB,ACK", "DirnH1SNB,ACK", "DirnH2SNB",
+                     "DirnH5SNB", "DirnHNBS-"):
+        machine = Machine(MachineParams(n_nodes=16), protocol=protocol)
+        stats = machine.run(RingPipeline())
+        rows.append((protocol, stats.run_cycles, stats.total_traps,
+                     f"{stats.speedup:.1f}"))
+    print(format_table(
+        ["Protocol", "Run cycles", "Traps", "Speedup"],
+        rows, title="RingPipeline on 16 nodes",
+    ))
+    print()
+    print("Pairwise sharing fits in a single hardware pointer, so every "
+          "protocol with at")
+    print("least one pointer performs identically — only the "
+          "software-only directory pays.")
+
+
+if __name__ == "__main__":
+    main()

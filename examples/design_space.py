@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration: synthetic sharing + the analytic model.
+
+Suppose you know (or profiled) an application's worker-set histogram but
+have not ported the application.  The synthetic generator builds a block
+population with exactly that mix, and the analytic model predicts the
+software traps each protocol would take — cross-checked here against
+the simulator on a Figure-6-like sharing mix.
+"""
+
+from repro import Machine, MachineParams
+from repro.analysis import format_table, predict_overhead
+from repro.workloads import SyntheticSharing, figure6_like_histogram
+
+PROTOCOLS = ("DirnH1SNB,LACK", "DirnH2SNB", "DirnH5SNB", "DirnHNBS-")
+ITERATIONS = 2
+
+
+def main() -> None:
+    histogram = figure6_like_histogram()
+    total_blocks = sum(histogram.values())
+    print(f"Sharing mix ({total_blocks} blocks): {histogram}\n")
+
+    rows = []
+    for protocol in PROTOCOLS:
+        predicted = predict_overhead(protocol, histogram,
+                                     read_rounds=ITERATIONS,
+                                     write_rounds=ITERATIONS)
+        machine = Machine(MachineParams(n_nodes=25), protocol=protocol)
+        stats = machine.run(SyntheticSharing(histogram,
+                                             iterations=ITERATIONS,
+                                             write_fraction=1.0))
+        rows.append((
+            protocol,
+            predicted.total_traps,
+            stats.total_traps,
+            f"{predicted.handler_cycles:,}",
+            f"{stats.total('handler_cycles'):,}",
+        ))
+    print(format_table(
+        ["Protocol", "Traps (model)", "Traps (simulated)",
+         "Handler cycles (model)", "Handler cycles (simulated)"],
+        rows,
+        title="Analytic model vs simulation (25 nodes, 2 iterations)",
+    ))
+    print()
+    print("The closed-form model counts overflow traps per worker-set "
+          "size and prices them")
+    print("with the Table-2 cost model; on controlled traffic it matches "
+          "the simulator's")
+    print("trap counts exactly, so disagreements on real applications "
+          "isolate the *timing*")
+    print("effects (contention, serialisation) from protocol structure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Section 7 enhancements in action: FIFO locks and migratory detection.
+
+A shared work counter is the classic migratory object: each node locks
+it, reads it, bumps it, writes it back, unlocks.  The FIFO lock (built
+on the protocol extension software) gives fair, queue-ordered access;
+migratory detection then notices the read-then-write migration pattern
+and starts answering the post-lock *read* with an exclusive copy, saving
+every node's upgrade transaction.
+"""
+
+from typing import Iterator
+
+from repro import Machine, MachineParams
+from repro.analysis import format_table
+from repro.workloads import Op, Workload
+
+
+class LockedWorkCounter(Workload):
+    """Nodes repeatedly grab work items from a shared counter."""
+
+    name = "work-counter"
+
+    def __init__(self, grabs_per_node: int = 6) -> None:
+        self.grabs = grabs_per_node
+        self.next_item = 0
+        self.claimed = []
+
+    def setup(self, machine: Machine) -> None:
+        self.lock = machine.create_lock(home=0)
+        self.counter = machine.heap.alloc_block(0)
+        self._code = machine.register_code("grab-work", lines=1)
+
+    def thread(self, machine: Machine, node_id: int) -> Iterator[Op]:
+        for _ in range(self.grabs):
+            yield ("lock", self.lock)
+            yield ("read", self.counter)
+            yield ("compute", 15, self._code)
+            item = self.next_item
+            self.next_item += 1
+            self.claimed.append((node_id, item))
+            yield ("write", self.counter)
+            yield ("unlock", self.lock)
+            yield ("compute", 120, self._code)  # process the item
+
+
+def run(migratory: bool):
+    machine = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB",
+                      migratory_detection=migratory)
+    workload = LockedWorkCounter()
+    stats = machine.run(workload)
+    requests = (stats.messages_by_kind().get("rreq", 0)
+                + stats.messages_by_kind().get("wreq", 0))
+    return machine, workload, stats, requests
+
+
+def main() -> None:
+    rows = []
+    for migratory in (False, True):
+        machine, workload, stats, requests = run(migratory)
+        assert workload.next_item == 16 * 6  # no lost updates
+        state = machine.locks.locks[workload.lock]
+        rows.append((
+            "on" if migratory else "off",
+            stats.run_cycles,
+            requests,
+            state.acquisitions,
+            state.max_queue,
+        ))
+    print(format_table(
+        ["Migratory detection", "Run cycles", "Coherence requests",
+         "Lock acquisitions", "Peak lock queue"],
+        rows,
+        title="Locked work counter on 16 nodes (DirnH5SNB)",
+    ))
+    print()
+    off, on = rows[0], rows[1]
+    print(f"Every one of the {off[3]} critical sections performed a "
+          f"read-then-write of the")
+    print(f"counter block; migratory detection converts each pair into "
+          f"one exclusive grant")
+    print(f"({off[2]} -> {on[2]} coherence requests, "
+          f"{(off[1] - on[1]) / off[1]:.0%} faster).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The TSP instruction/data thrashing case study (paper Figure 3).
+
+TSP keeps two globally-shared memory blocks (the seeded best bound and a
+tour counter) that happen to conflict with commonly-run instruction
+lines in Alewife's combined direct-mapped cache.  Every runtime
+invocation evicts them; every bound check then misses all the way to
+node 0, and under a software-extended protocol roughly every fifth such
+miss traps node 0's processor.
+
+This example reproduces the paper's diagnosis step by step:
+
+1. the base run — the five-pointer protocol is several times slower
+   than full map;
+2. *perfect ifetch* — a simulator option removing instructions from the
+   memory system confirms the diagnosis;
+3. victim caching — the practical fix: a few extra buffers absorb the
+   conflicts and restore software-extended performance.
+"""
+
+from repro.analysis import format_table, run_one
+from repro.workloads import TSP
+
+CONFIGS = (
+    ("base (thrashing)", dict(victim_cache=False, perfect_ifetch=False)),
+    ("perfect ifetch", dict(victim_cache=False, perfect_ifetch=True)),
+    ("victim cache", dict(victim_cache=True, perfect_ifetch=False)),
+)
+
+PROTOCOLS = ("DirnH5SNB", "DirnHNBS-")
+
+
+def main() -> None:
+    print("TSP on 64 nodes, three configurations x two protocols...\n")
+    rows = []
+    for label, kwargs in CONFIGS:
+        row = [label]
+        for protocol in PROTOCOLS:
+            stats = run_one(TSP(), protocol, n_nodes=64, **kwargs)
+            row.append(f"{stats.speedup:.1f}")
+            if protocol == "DirnH5SNB":
+                row.append(f"{stats.total_traps}")
+        rows.append(row)
+    print(format_table(
+        ["Configuration", "H5 speedup", "H5 traps", "Full-map speedup"],
+        rows, title="Figure 3 reproduction",
+    ))
+    print()
+    print("In the base run the hot blocks ping-pong with code; the "
+          "resulting re-reads")
+    print("overflow the five-pointer directory and swamp node 0's "
+          "processor with traps.")
+    print("Perfect instruction fetch or a few victim buffers eliminate "
+          "the conflict, and")
+    print("the software-extended protocol returns to within a few "
+          "percent of full map.")
+
+
+if __name__ == "__main__":
+    main()

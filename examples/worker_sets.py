@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Worker-set analysis (paper Section 5 / Figure 6).
+
+Runs EVOLVE with worker-set tracking and prints the histogram of
+worker-set sizes, plus the fraction of blocks a limited hardware
+directory of each size would cover without software — the measurement
+underlying the whole software-extension approach.
+"""
+
+from repro.analysis import (
+    format_histogram,
+    format_table,
+    hardware_coverage,
+    histogram_summary,
+    run_one,
+)
+from repro.workloads import Evolve
+
+
+def main() -> None:
+    print("Running EVOLVE on 64 nodes with worker-set tracking...\n")
+    stats = run_one(Evolve(), "DirnHNBS-", n_nodes=64,
+                    track_worker_sets=True)
+    histogram = stats.worker_set_histogram
+    assert histogram is not None
+
+    print(format_histogram(
+        histogram, title="Worker-set sizes (log-scaled bars)"))
+    print()
+
+    summary = histogram_summary(histogram)
+    print(f"blocks tracked     {summary['blocks']}")
+    print(f"largest worker set {summary['max_size']}")
+    print(f"mean worker set    {summary['mean_size']:.2f}")
+    print(f"sets of size <= 4  {summary['small_fraction']:.1%}")
+    print()
+
+    rows = []
+    for pointers in (0, 1, 2, 3, 4, 5, 8, 16, 64):
+        rows.append((pointers,
+                     f"{hardware_coverage(histogram, pointers):.1%}"))
+    print(format_table(
+        ["Hardware pointers", "Blocks handled without software"],
+        rows,
+        title="Directory coverage vs pointer count",
+    ))
+    print()
+    print("Most worker sets fit in a handful of pointers — the "
+          "observation that makes")
+    print("software-extended directories cost-effective.  The tail of "
+          "large sets is what")
+    print("the extension software exists to handle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — Software-Extended Coherent Shared Memory: Performance and Cost.
+
+A from-scratch reproduction of Chaiken & Agarwal (ISCA 1994): the MIT
+Alewife LimitLESS software-extended directory coherence system, evaluated
+on a deterministic event-driven machine simulator (the NWO analogue).
+
+Public API::
+
+    from repro import Machine, MachineParams, ProtocolSpec
+    from repro.workloads import WorkerBenchmark
+
+    machine = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+    stats = machine.run(WorkerBenchmark(worker_set_size=8))
+    print(stats.run_cycles, stats.speedup)
+"""
+
+from repro.common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DeadlockError,
+    ProtocolSpecError,
+    ProtocolStateError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.core.spec import (
+    ALEWIFE_SUPPORTED,
+    PAPER_SPECTRUM,
+    AckMode,
+    ProtocolSpec,
+    spec_of,
+)
+from repro.machine.machine import CodeRef, Machine
+from repro.machine.params import MachineParams
+from repro.sim.stats import HandlerSample, NodeStats, RunStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALEWIFE_SUPPORTED",
+    "AckMode",
+    "AllocationError",
+    "CodeRef",
+    "ConfigurationError",
+    "DeadlockError",
+    "HandlerSample",
+    "Machine",
+    "MachineParams",
+    "NodeStats",
+    "PAPER_SPECTRUM",
+    "ProtocolSpec",
+    "ProtocolSpecError",
+    "ProtocolStateError",
+    "ReproError",
+    "RunStats",
+    "SimulationError",
+    "WorkloadError",
+    "spec_of",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Experiment drivers, worker-set analysis, and report formatting."""
+
+from repro.analysis.experiments import (
+    APPLICATIONS,
+    CLOCK_HZ,
+    FIGURE2_PROTOCOLS,
+    FIGURE4_PROTOCOLS,
+    fig2_worker_ratios,
+    fig3_tsp_detail,
+    fig4_application_speedups,
+    fig5_tsp_256,
+    fig6_evolve_worker_sets,
+    protocol_sweep,
+    relative_performance,
+    run_one,
+    table1_handler_latencies,
+    table2_breakdowns,
+    table3_applications,
+)
+from repro.analysis.cost import (
+    CostPerformancePoint,
+    cost_performance_points,
+    directory_bits_per_block,
+    directory_overhead,
+    full_map_scaling,
+    pareto_frontier,
+)
+from repro.analysis.model import (
+    OverheadPrediction,
+    predict_overhead,
+    predicted_ratio,
+    read_overflow_traps,
+)
+from repro.analysis.profiling import (
+    AccessProfiler,
+    apply_read_only_protocol,
+    profile_and_optimize,
+    read_only_blocks,
+)
+from repro.analysis.report import (
+    format_bar_chart,
+    format_histogram,
+    format_series_plot,
+    format_table,
+)
+from repro.analysis.verify import (
+    BarrierCoherenceChecker,
+    coherence_violations,
+    install_barrier_checker,
+)
+from repro.analysis.workersets import (
+    decay_slope,
+    hardware_coverage,
+    histogram_summary,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AccessProfiler",
+    "CostPerformancePoint",
+    "OverheadPrediction",
+    "predict_overhead",
+    "predicted_ratio",
+    "read_overflow_traps",
+    "BarrierCoherenceChecker",
+    "coherence_violations",
+    "install_barrier_checker",
+    "apply_read_only_protocol",
+    "cost_performance_points",
+    "directory_bits_per_block",
+    "directory_overhead",
+    "full_map_scaling",
+    "pareto_frontier",
+    "profile_and_optimize",
+    "read_only_blocks",
+    "CLOCK_HZ",
+    "FIGURE2_PROTOCOLS",
+    "FIGURE4_PROTOCOLS",
+    "decay_slope",
+    "fig2_worker_ratios",
+    "fig3_tsp_detail",
+    "fig4_application_speedups",
+    "fig5_tsp_256",
+    "fig6_evolve_worker_sets",
+    "format_bar_chart",
+    "format_series_plot",
+    "format_histogram",
+    "format_table",
+    "hardware_coverage",
+    "histogram_summary",
+    "protocol_sweep",
+    "relative_performance",
+    "run_one",
+    "table1_handler_latencies",
+    "table2_breakdowns",
+    "table3_applications",
+]

@@ -1,0 +1,128 @@
+"""Hardware cost analysis of the protocol spectrum.
+
+The paper's central tradeoff is performance *versus cost*: every
+hardware directory pointer costs storage on every block of shared memory
+in the machine.  A full-map directory needs one bit per node per block —
+cost that grows with machine size — while a software-extended directory
+pays a constant number of pointer-widths per block plus DRAM for the
+software extension only where worker sets actually overflow.
+
+This module quantifies that: directory bits per block, directory storage
+as a fraction of shared memory, and cost/performance summaries used by
+``examples/protocol_spectrum.py`` and the analysis tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.spec import ProtocolSpec, spec_of
+from repro.machine.params import MachineParams
+
+#: bits of directory state besides the pointers themselves (entry state,
+#: the acknowledgement counter re-using a pointer width, flags)
+ENTRY_OVERHEAD_BITS = 4
+
+
+def pointer_width(n_nodes: int) -> int:
+    """Bits needed to name a node."""
+    return max((n_nodes - 1).bit_length(), 1)
+
+
+def directory_bits_per_block(protocol: "ProtocolSpec | str",
+                             n_nodes: int) -> int:
+    """Hardware directory bits each memory block pays."""
+    spec = spec_of(protocol)
+    if spec.full_map:
+        # One presence bit per node (the paper notes the efficient
+        # one-bit-per-pointer implementation) plus entry state.
+        return n_nodes + ENTRY_OVERHEAD_BITS
+    if spec.is_software_only:
+        return 1  # the remote-access bit
+    bits = spec.hw_pointers * pointer_width(n_nodes) + ENTRY_OVERHEAD_BITS
+    if spec.local_bit:
+        bits += 1
+    return bits
+
+
+def directory_overhead(protocol: "ProtocolSpec | str",
+                       params: MachineParams) -> float:
+    """Directory storage as a fraction of the shared memory it covers."""
+    block_bits = params.block_bytes * 8
+    return directory_bits_per_block(protocol, params.n_nodes) / block_bits
+
+
+def extension_dram_bytes(live_chunks: int, small_records: int,
+                         n_nodes: int, chunk_pointers: int = 8) -> int:
+    """DRAM consumed by the software directory extension.
+
+    ``live_chunks``/``small_records`` come from
+    :class:`~repro.core.software.extdir.ExtendedDirectory` accounting.
+    """
+    ptr_bytes = -(-pointer_width(n_nodes) // 8)
+    chunk_bytes = chunk_pointers * ptr_bytes + 4  # pointers + link word
+    small_bytes = 4 * ptr_bytes
+    return live_chunks * chunk_bytes + small_records * small_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class CostPerformancePoint:
+    """One protocol's position in the cost/performance plane."""
+
+    protocol: str
+    bits_per_block: int
+    overhead: float  # directory bits / memory bits
+    speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per percent of directory overhead (higher is better;
+        infinite for the 1-bit software-only directory rounds to a large
+        finite value)."""
+        return self.speedup / max(self.overhead, 1e-6)
+
+
+def cost_performance_points(
+    speedups: Mapping[str, float],
+    params: MachineParams,
+) -> List[CostPerformancePoint]:
+    """Combine measured speedups with hardware costs."""
+    return [
+        CostPerformancePoint(
+            protocol=protocol,
+            bits_per_block=directory_bits_per_block(protocol,
+                                                    params.n_nodes),
+            overhead=directory_overhead(protocol, params),
+            speedup=speedup,
+        )
+        for protocol, speedup in speedups.items()
+    ]
+
+
+def pareto_frontier(
+    points: Iterable[CostPerformancePoint],
+) -> List[CostPerformancePoint]:
+    """Points not dominated in (lower cost, higher speedup)."""
+    ordered = sorted(points, key=lambda p: (p.bits_per_block, -p.speedup))
+    frontier: List[CostPerformancePoint] = []
+    best = float("-inf")
+    for point in ordered:
+        if point.speedup > best:
+            frontier.append(point)
+            best = point.speedup
+    return frontier
+
+
+def full_map_scaling(n_nodes_list: Sequence[int],
+                     hw_pointers: int = 5) -> List[Tuple[int, int, int]]:
+    """(nodes, full-map bits/block, limited bits/block) — the scaling
+    argument for software extension: full-map cost grows linearly with
+    machine size while the limited directory grows logarithmically."""
+    rows = []
+    for n in n_nodes_list:
+        full = directory_bits_per_block("DirnHNBS-", n)
+        limited = directory_bits_per_block(
+            ProtocolSpec(hw_pointers=hw_pointers), n)
+        rows.append((n, full, limited))
+    return rows

@@ -1,0 +1,349 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver builds machines, runs workloads across the protocol spectrum,
+and returns plain data structures; the ``benchmarks/`` suite formats them
+into the paper's tables and figures, and ``EXPERIMENTS.md`` records the
+outcomes.  Problem sizes are the calibrated defaults from the workload
+classes; tests pass smaller sizes through the driver arguments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.sim.stats import RunStats
+from repro.workloads.aq import AdaptiveQuadrature
+from repro.workloads.base import Workload
+from repro.workloads.evolve import Evolve
+from repro.workloads.mp3d import MP3D
+from repro.workloads.smgrid import StaticMultigrid
+from repro.workloads.tsp import TSP
+from repro.workloads.water import Water
+from repro.workloads.worker import WorkerBenchmark
+
+#: Alewife's clock (Section 3.1), used to convert cycles to seconds.
+CLOCK_HZ = 33_000_000
+
+#: The protocols shown in the application figures (Figure 4 uses the
+#: ,ACK variant for the one-pointer protocol).
+FIGURE4_PROTOCOLS: Tuple[str, ...] = (
+    "DirnH0SNB,ACK",
+    "DirnH1SNB,ACK",
+    "DirnH2SNB",
+    "DirnH5SNB",
+    "DirnHNBS-",
+)
+
+#: The protocols of the WORKER study (Figure 2).
+FIGURE2_PROTOCOLS: Tuple[str, ...] = (
+    "DirnH0SNB,ACK",
+    "DirnH1SNB,ACK",
+    "DirnH1SNB,LACK",
+    "DirnH1SNB",
+    "DirnH2SNB",
+    "DirnH3SNB",
+    "DirnH4SNB",
+    "DirnH5SNB",
+)
+
+WorkloadFactory = Callable[[], Workload]
+
+#: The six applications of Section 6, with calibrated 64-node sizes.
+APPLICATIONS: "OrderedDict[str, WorkloadFactory]" = OrderedDict(
+    (
+        ("tsp", TSP),
+        ("aq", AdaptiveQuadrature),
+        ("smgrid", StaticMultigrid),
+        ("evolve", Evolve),
+        ("mp3d", MP3D),
+        ("water", Water),
+    )
+)
+
+
+def run_one(
+    workload: Workload,
+    protocol: str,
+    n_nodes: int = 64,
+    victim_cache: bool = True,
+    perfect_ifetch: bool = False,
+    software: str = "flexible",
+    track_worker_sets: bool = False,
+    params: Optional[MachineParams] = None,
+) -> RunStats:
+    """Run one workload on a fresh machine and return its statistics."""
+    if params is None:
+        params = MachineParams(
+            n_nodes=n_nodes,
+            victim_cache_enabled=victim_cache,
+            perfect_ifetch=perfect_ifetch,
+        )
+    machine = Machine(params, protocol=protocol, software=software,
+                      track_worker_sets=track_worker_sets)
+    return machine.run(workload)
+
+
+def protocol_sweep(
+    factory: WorkloadFactory,
+    protocols: Sequence[str],
+    n_nodes: int = 64,
+    victim_cache: bool = True,
+    perfect_ifetch: bool = False,
+) -> "OrderedDict[str, RunStats]":
+    """Run the same workload configuration across several protocols."""
+    results: "OrderedDict[str, RunStats]" = OrderedDict()
+    for protocol in protocols:
+        results[protocol] = run_one(
+            factory(), protocol, n_nodes=n_nodes,
+            victim_cache=victim_cache, perfect_ifetch=perfect_ifetch,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table 1: software handler latencies, C vs assembly
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Table1Row:
+    readers: int
+    c_read: float
+    asm_read: float
+    c_write: float
+    asm_write: float
+
+
+def table1_handler_latencies(
+    readers: Sequence[int] = (8, 12, 16),
+    n_nodes: int = 16,
+    iterations: int = 3,
+) -> List[Table1Row]:
+    """Average DirnH5SNB handler latencies measured from WORKER runs."""
+    rows = []
+    for r in readers:
+        means: Dict[Tuple[str, str], float] = {}
+        for software in ("flexible", "optimized"):
+            stats = run_one(
+                WorkerBenchmark(worker_set_size=r, iterations=iterations),
+                "DirnH5SNB", n_nodes=n_nodes, victim_cache=False,
+                software=software,
+            )
+            means[("read", software)] = stats.mean_handler_latency(
+                "read", software)
+            means[("write", software)] = stats.mean_handler_latency(
+                "write", software)
+        rows.append(Table1Row(
+            readers=r,
+            c_read=means[("read", "flexible")],
+            asm_read=means[("read", "optimized")],
+            c_write=means[("write", "flexible")],
+            asm_write=means[("write", "optimized")],
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: cycle breakdown of median handlers (8 readers, 1 writer)
+# ----------------------------------------------------------------------
+
+def table2_breakdowns(n_nodes: int = 16, readers: int = 8,
+                      iterations: int = 3) -> Dict[Tuple[str, str],
+                                                   Dict[str, int]]:
+    """Median read/write handler activity breakdowns for both software
+    implementations, keyed by (request, implementation)."""
+    out: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for software in ("flexible", "optimized"):
+        stats = run_one(
+            WorkerBenchmark(worker_set_size=readers, iterations=iterations),
+            "DirnH5SNB", n_nodes=n_nodes, victim_cache=False,
+            software=software,
+        )
+        for request in ("read", "write"):
+            sample = stats.median_handler_sample(request, software)
+            if sample is not None:
+                out[(request, software)] = dict(sample.breakdown)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table 3: application characteristics
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Table3Row:
+    name: str
+    language: str
+    size: str
+    sequential_seconds: float
+
+
+#: Source language of each application in the paper.
+APP_LANGUAGES = {
+    "tsp": "Mul-T",
+    "aq": "Semi-C",
+    "smgrid": "Mul-T",
+    "evolve": "Mul-T",
+    "mp3d": "C",
+    "water": "C",
+}
+
+
+def table3_applications(n_nodes: int = 64) -> List[Table3Row]:
+    """Application characteristics with measured sequential times."""
+    rows = []
+    for name, factory in APPLICATIONS.items():
+        workload = factory()
+        stats = run_one(workload, "DirnHNBS-", n_nodes=n_nodes)
+        size = _workload_size(workload)
+        rows.append(Table3Row(
+            name=name,
+            language=APP_LANGUAGES[name],
+            size=size,
+            sequential_seconds=stats.sequential_cycles / CLOCK_HZ,
+        ))
+    return rows
+
+
+def _workload_size(workload: Workload) -> str:
+    if isinstance(workload, TSP):
+        return f"{workload.n_cities} city tour"
+    if isinstance(workload, AdaptiveQuadrature):
+        return f"tol {workload.tolerance}"
+    if isinstance(workload, StaticMultigrid):
+        return f"{workload.n + 1} x {workload.n + 1}"
+    if isinstance(workload, Evolve):
+        return f"{workload.dimensions} dimensions"
+    if isinstance(workload, MP3D):
+        return f"{workload.n_particles} particles"
+    if isinstance(workload, Water):
+        return f"{workload.n_molecules} molecules"
+    return "-"
+
+
+# ----------------------------------------------------------------------
+# Figure 2: WORKER run-time ratio to full-map vs worker-set size
+# ----------------------------------------------------------------------
+
+def fig2_worker_ratios(
+    sizes: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
+    protocols: Sequence[str] = FIGURE2_PROTOCOLS,
+    n_nodes: int = 16,
+    iterations: int = 4,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Run-time of each protocol normalised to full-map, per worker-set
+    size (the paper's Figure 2 curves)."""
+    curves: Dict[str, List[Tuple[int, float]]] = {p: [] for p in protocols}
+    for size in sizes:
+        base = run_one(
+            WorkerBenchmark(worker_set_size=size, iterations=iterations),
+            "DirnHNBS-", n_nodes=n_nodes, victim_cache=False,
+        ).run_cycles
+        for protocol in protocols:
+            cycles = run_one(
+                WorkerBenchmark(worker_set_size=size, iterations=iterations),
+                protocol, n_nodes=n_nodes, victim_cache=False,
+            ).run_cycles
+            curves[protocol].append((size, cycles / base))
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Figure 3: TSP detailed analysis (base / perfect ifetch / victim cache)
+# ----------------------------------------------------------------------
+
+def fig3_tsp_detail(
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 64,
+) -> Dict[str, "OrderedDict[str, float]"]:
+    """TSP speedups under the three Figure 3 configurations."""
+    out: Dict[str, "OrderedDict[str, float]"] = {}
+    configs = (
+        ("base", dict(victim_cache=False, perfect_ifetch=False)),
+        ("perfect ifetch", dict(victim_cache=False, perfect_ifetch=True)),
+        ("victim cache", dict(victim_cache=True, perfect_ifetch=False)),
+    )
+    for label, kwargs in configs:
+        column: "OrderedDict[str, float]" = OrderedDict()
+        for protocol in protocols:
+            stats = run_one(TSP(), protocol, n_nodes=n_nodes, **kwargs)
+            column[protocol] = stats.speedup
+        out[label] = column
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4: application speedups across the spectrum
+# ----------------------------------------------------------------------
+
+def fig4_application_speedups(
+    apps: Optional[Sequence[str]] = None,
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 64,
+) -> "OrderedDict[str, OrderedDict[str, float]]":
+    """Speedup of each application per protocol (victim caching on, as
+    the paper does for everything after the TSP study)."""
+    chosen = list(APPLICATIONS) if apps is None else list(apps)
+    out: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
+    for name in chosen:
+        factory = APPLICATIONS[name]
+        column: "OrderedDict[str, float]" = OrderedDict()
+        for protocol in protocols:
+            stats = run_one(factory(), protocol, n_nodes=n_nodes)
+            column[protocol] = stats.speedup
+        out[name] = column
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 5: TSP on 256 nodes
+# ----------------------------------------------------------------------
+
+def fig5_tsp_256(
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 256,
+) -> "OrderedDict[str, float]":
+    """TSP speedups on a 256-node machine with victim caching.
+
+    The paper runs the *same* problem on more nodes; our scaled problem
+    grows one city (13 vs the 64-node runs' 12) so that 256 nodes have
+    enough subtrees each for the start-up transient to amortise — the
+    paper's billion-cycle run gets that for free.
+    """
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for protocol in protocols:
+        stats = run_one(TSP(n_cities=13, prefix_depth=4), protocol,
+                        n_nodes=n_nodes)
+        out[protocol] = stats.speedup
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6: EVOLVE worker-set histogram
+# ----------------------------------------------------------------------
+
+def fig6_evolve_worker_sets(n_nodes: int = 64) -> Mapping[int, int]:
+    """Histogram of worker-set sizes at the end of an EVOLVE run."""
+    stats = run_one(Evolve(), "DirnHNBS-", n_nodes=n_nodes,
+                    track_worker_sets=True)
+    assert stats.worker_set_histogram is not None
+    return stats.worker_set_histogram
+
+
+# ----------------------------------------------------------------------
+# Convenience: relative performance summary (the 71%-100% headline)
+# ----------------------------------------------------------------------
+
+def relative_performance(
+    speedups: Mapping[str, float],
+    reference: str = "DirnHNBS-",
+) -> Dict[str, float]:
+    """Normalise a protocol->speedup map to the full-map entry."""
+    base = speedups[reference]
+    if base == 0:
+        return {p: 0.0 for p in speedups}
+    return {p: s / base for p, s in speedups.items()}

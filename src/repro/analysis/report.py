@@ -1,0 +1,115 @@
+"""Plain-text table and figure formatting for experiment results.
+
+Every benchmark regenerates its paper table/figure as an ASCII rendering;
+these helpers keep the output format consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     title: Optional[str] = None, width: int = 50,
+                     unit: str = "") -> str:
+    """Render values as a horizontal ASCII bar chart."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_w = max((len(lbl) for lbl in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_histogram(histogram: Mapping[int, int],
+                     title: Optional[str] = None, width: int = 50) -> str:
+    """Render a worker-set histogram (log-scaled bars, like Figure 6)."""
+    import math
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(histogram.values())
+    log_peak = math.log10(peak) if peak > 1 else 1.0
+    for size in sorted(histogram):
+        count = histogram[size]
+        scaled = math.log10(count) / log_peak if count > 0 else 0.0
+        bar = "#" * max(1, int(round(width * scaled)))
+        lines.append(f"{size:4d} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_series_plot(series: "Mapping[str, Sequence[Tuple[float, float]]]",
+                       title: Optional[str] = None, width: int = 64,
+                       height: int = 18) -> str:
+    """Render several (x, y) series as one ASCII line plot.
+
+    Each series gets a letter marker; a legend maps letters to names.
+    Used by the Figure 2 benchmark to draw the worker-set curves the
+    paper plots.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or "(no data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {name}")
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:8.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_lo:8.2f} +" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<8g}" + " " * max(width - 16, 0)
+                 + f"{x_hi:>8g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

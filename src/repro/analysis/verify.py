@@ -1,0 +1,130 @@
+"""Machine-state verification: the single-writer invariant, checked
+directly against caches and directories.
+
+NWO's purpose was as much *verification* as measurement — a
+deterministic environment in which protocol bugs are reproducible.  This
+module provides the state-level checker (the message-level counterpart
+is :mod:`repro.sim.trace`):
+
+- at most one writable copy of any block machine-wide;
+- never a writable copy alongside readable copies;
+- the home directory agrees with the caches about owners and (for
+  never-extended entries) about every sharer.
+
+Use :func:`coherence_violations` at quiescence (end of run), or install
+:func:`install_barrier_checker` to verify at *every* barrier — barriers
+are quiescent points for user traffic, so protocol corruption surfaces
+at the first barrier after it happens rather than at the end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.common.types import CacheState, DirState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+
+def coherence_violations(machine: "Machine") -> List[str]:
+    """Check the single-writer / multiple-reader invariant.
+
+    Returns a list of violation descriptions (empty = coherent).  Call
+    at quiescence: in-flight transactions legitimately disagree with a
+    snapshot.
+    """
+    problems: List[str] = []
+    spec = machine.spec
+
+    holders: Dict[int, List[tuple]] = {}
+    for node in machine.nodes:
+        cache = node.cache_ctrl.cache
+        for block in cache.resident_blocks():
+            state = cache.probe(block)
+            if state is not CacheState.INVALID:
+                holders.setdefault(block, []).append((node.id, state))
+
+    for block, entries in holders.items():
+        if machine.is_code_block(block):
+            continue
+        writers = [nid for nid, st in entries
+                   if st is CacheState.READ_WRITE]
+        readers = [nid for nid, st in entries
+                   if st is CacheState.READ_ONLY]
+        if len(writers) > 1:
+            problems.append(f"block {block}: multiple writers {writers}")
+        if writers and readers:
+            problems.append(
+                f"block {block}: writer {writers} alongside readers "
+                f"{readers}"
+            )
+        home = machine.params.home_of_block(block)
+        home_ctrl = machine.nodes[home].home
+        entry = home_ctrl.entries.get(block)
+        if spec.is_software_only:
+            if writers:
+                if entry is None \
+                        or entry.state is not DirState.READ_WRITE \
+                        or entry.owner != writers[0]:
+                    problems.append(
+                        f"block {block}: H0 directory does not record "
+                        f"writer {writers[0]}"
+                    )
+            continue
+        if writers:
+            if entry is None or entry.state is not DirState.READ_WRITE:
+                problems.append(
+                    f"block {block}: directory misses writer "
+                    f"{writers[0]} (entry={entry})"
+                )
+            elif entry.owner != writers[0]:
+                problems.append(
+                    f"block {block}: directory owner {entry.owner} != "
+                    f"cache writer {writers[0]}"
+                )
+        elif readers and entry is not None:
+            if entry.state is DirState.READ_WRITE:
+                problems.append(
+                    f"block {block}: directory claims exclusive but only "
+                    f"readers {readers} hold it"
+                )
+            elif not spec.full_map and not entry.extended:
+                tracked = entry.sharer_set()
+                missing = [r for r in readers if r not in tracked]
+                if missing:
+                    problems.append(
+                        f"block {block}: readers {missing} untracked by "
+                        f"a non-extended directory"
+                    )
+    return problems
+
+
+class BarrierCoherenceChecker:
+    """Verifies coherence at every completed barrier.
+
+    Barriers are quiescent points for user traffic (every participant's
+    memory requests have completed), so the invariant must hold there.
+    Violations raise immediately with the barrier count, which — in a
+    deterministic simulator — pinpoints the failure for replay.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.barriers_checked = 0
+
+    def __call__(self) -> None:
+        problems = coherence_violations(self.machine)
+        self.barriers_checked += 1
+        if problems:
+            raise AssertionError(
+                f"coherence violated at barrier "
+                f"{self.machine.barrier.barriers_completed}: {problems[:4]}"
+            )
+
+
+def install_barrier_checker(machine: "Machine") -> BarrierCoherenceChecker:
+    """Attach a :class:`BarrierCoherenceChecker` to ``machine``."""
+    checker = BarrierCoherenceChecker(machine)
+    machine.barrier.on_complete = checker
+    return checker

@@ -1,0 +1,64 @@
+"""Worker-set analysis helpers (paper Section 5 / Figure 6).
+
+A *worker set* is the set of nodes that access a unit of data.  The
+machine tracks per-block worker sets when ``track_worker_sets`` is on;
+these helpers summarise the result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+
+def histogram_summary(histogram: Mapping[int, int]) -> Dict[str, float]:
+    """Summary statistics of a worker-set-size histogram."""
+    total_blocks = sum(histogram.values())
+    if total_blocks == 0:
+        return {
+            "blocks": 0, "max_size": 0, "mean_size": 0.0,
+            "small_fraction": 1.0, "large_sets": 0,
+        }
+    weighted = sum(size * count for size, count in histogram.items())
+    small = sum(count for size, count in histogram.items() if size <= 4)
+    large = sum(count for size, count in histogram.items() if size > 5)
+    return {
+        "blocks": total_blocks,
+        "max_size": max(histogram),
+        "mean_size": weighted / total_blocks,
+        "small_fraction": small / total_blocks,
+        "large_sets": large,
+    }
+
+
+def decay_slope(histogram: Mapping[int, int]) -> float:
+    """Least-squares slope of log10(count) against worker-set size.
+
+    Figure 6 of the paper is near-linear on a log scale; a clearly
+    negative slope is the property tests assert.
+    """
+    points: Tuple[Tuple[int, float], ...] = tuple(
+        (size, math.log10(count))
+        for size, count in sorted(histogram.items())
+        if count > 0
+    )
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    mean_x = sum(x for x, _y in points) / n
+    mean_y = sum(y for _x, y in points) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    var = sum((x - mean_x) ** 2 for x, _y in points)
+    return cov / var if var else 0.0
+
+
+def hardware_coverage(histogram: Mapping[int, int], pointers: int) -> float:
+    """Fraction of blocks whose worker set fits in ``pointers`` hardware
+    pointers — the fraction a limited directory handles without software.
+    """
+    total = sum(histogram.values())
+    if total == 0:
+        return 1.0
+    covered = sum(count for size, count in histogram.items()
+                  if size <= pointers)
+    return covered / total

@@ -1,0 +1,5 @@
+"""Processor cache subsystem: direct-mapped main array + victim cache."""
+
+from repro.cache.cache import DirectMappedCache, Eviction, VictimCache
+
+__all__ = ["DirectMappedCache", "Eviction", "VictimCache"]

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info
+    python -m repro run --app water --protocol DirnH5SNB --nodes 64
+    python -m repro sweep --app tsp --nodes 64
+    python -m repro worker --size 8 --nodes 16
+    python -m repro cost --nodes 64
+
+Every command is deterministic: running it twice prints identical
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.cost import (
+    cost_performance_points,
+    full_map_scaling,
+    pareto_frontier,
+)
+from repro.analysis.experiments import (
+    APPLICATIONS,
+    FIGURE2_PROTOCOLS,
+    FIGURE4_PROTOCOLS,
+    relative_performance,
+    run_one,
+)
+from repro.analysis.report import format_table
+from repro.core.spec import PAPER_SPECTRUM, spec_of
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.worker import WorkerBenchmark
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software-extended coherent shared memory "
+                    "(Chaiken & Agarwal, ISCA 1994) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="list protocols and applications")
+
+    run = sub.add_parser("run", help="run one application")
+    run.add_argument("--app", choices=sorted(APPLICATIONS), default="water")
+    run.add_argument("--protocol", default="DirnH5SNB")
+    run.add_argument("--nodes", type=int, default=64)
+    run.add_argument("--software", choices=("flexible", "optimized"),
+                     default="flexible")
+    run.add_argument("--no-victim-cache", action="store_true")
+    run.add_argument("--perfect-ifetch", action="store_true")
+    run.add_argument("--invalidation-mode",
+                     choices=("parallel", "sequential", "dynamic"),
+                     default="parallel")
+
+    sweep = sub.add_parser("sweep",
+                           help="run one app across the protocol spectrum")
+    sweep.add_argument("--app", choices=sorted(APPLICATIONS),
+                       default="water")
+    sweep.add_argument("--nodes", type=int, default=64)
+    sweep.add_argument("--protocols", nargs="*",
+                       default=list(FIGURE4_PROTOCOLS))
+
+    worker = sub.add_parser("worker", help="run the WORKER stress test")
+    worker.add_argument("--size", type=int, default=8,
+                        help="worker-set size")
+    worker.add_argument("--nodes", type=int, default=16)
+    worker.add_argument("--iterations", type=int, default=4)
+    worker.add_argument("--protocols", nargs="*",
+                        default=list(FIGURE2_PROTOCOLS) + ["DirnHNBS-"])
+
+    cost = sub.add_parser("cost", help="directory cost analysis")
+    cost.add_argument("--nodes", type=int, default=64)
+
+    return parser
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print("Protocols (paper Section 2.5 notation):")
+    for name in list(PAPER_SPECTRUM) + ["Dir1H1SB,LACK"]:
+        spec = spec_of(name)
+        kind = ("full map" if spec.full_map
+                else "software-only" if spec.is_software_only
+                else "broadcast" if spec.sw_broadcast
+                else "LimitLESS")
+        print(f"  {name:<16} {kind}")
+    print("\nApplications (paper Section 6):")
+    for name in APPLICATIONS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = MachineParams(
+        n_nodes=args.nodes,
+        victim_cache_enabled=not args.no_victim_cache,
+        perfect_ifetch=args.perfect_ifetch,
+    )
+    machine = Machine(params, protocol=args.protocol,
+                      software=args.software,
+                      invalidation_mode=args.invalidation_mode)
+    workload = APPLICATIONS[args.app]()
+    stats = machine.run(workload)
+    print(f"{args.app.upper()} on {args.nodes} nodes, {args.protocol} "
+          f"({args.software} software)")
+    print(f"  run time        {stats.run_cycles:>12,} cycles")
+    print(f"  speedup         {stats.speedup:>12.2f}")
+    print(f"  utilization     {stats.processor_utilization:>12.1%}")
+    print(f"  software traps  {stats.total_traps:>12,}")
+    print(f"  handler cycles  {stats.total('handler_cycles'):>12,}")
+    print(f"  invalidations   "
+          f"{stats.total('invalidations_hw') + stats.total('invalidations_sw'):>12,}")
+    print(f"  retries         {stats.total('retries'):>12,}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    speedups = {}
+    for protocol in args.protocols:
+        stats = run_one(APPLICATIONS[args.app](), protocol,
+                        n_nodes=args.nodes)
+        speedups[protocol] = stats.speedup
+    rel = relative_performance(speedups) \
+        if "DirnHNBS-" in speedups else {p: 0 for p in speedups}
+    rows = [
+        (p, f"{speedups[p]:.2f}",
+         f"{rel[p] * 100:.0f}%" if rel.get(p) else "-")
+        for p in args.protocols
+    ]
+    print(format_table(["Protocol", "Speedup", "vs full map"], rows,
+                       title=f"{args.app.upper()} on {args.nodes} nodes"))
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    rows = []
+    base: Optional[int] = None
+    for protocol in args.protocols:
+        machine = Machine(MachineParams(n_nodes=args.nodes),
+                          protocol=protocol)
+        stats = machine.run(WorkerBenchmark(worker_set_size=args.size,
+                                            iterations=args.iterations))
+        if protocol == "DirnHNBS-":
+            base = stats.run_cycles
+        rows.append((protocol, stats.run_cycles, stats.total_traps))
+    table_rows: List[tuple] = []
+    for protocol, cycles, traps in rows:
+        ratio = f"{cycles / base:.2f}" if base else "-"
+        table_rows.append((protocol, cycles, traps, ratio))
+    print(format_table(
+        ["Protocol", "Cycles", "Traps", "vs full map"], table_rows,
+        title=f"WORKER, worker sets of {args.size}, {args.nodes} nodes"))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    params = MachineParams(n_nodes=args.nodes)
+    speedups = {}
+    for protocol in FIGURE4_PROTOCOLS:
+        stats = run_one(APPLICATIONS["water"](), protocol,
+                        n_nodes=args.nodes)
+        speedups[protocol] = stats.speedup
+    points = cost_performance_points(speedups, params)
+    frontier = {p.protocol for p in pareto_frontier(points)}
+    rows = [
+        (p.protocol, p.bits_per_block, f"{p.overhead:.2%}",
+         f"{p.speedup:.1f}", "*" if p.protocol in frontier else "")
+        for p in points
+    ]
+    print(format_table(
+        ["Protocol", "Dir bits/block", "Overhead", "Speedup (WATER)",
+         "Pareto"],
+        rows, title=f"Cost vs performance at {args.nodes} nodes"))
+    print()
+    scaling = full_map_scaling((16, 64, 256, 1024))
+    print(format_table(
+        ["Nodes", "Full-map bits/block", "5-pointer bits/block"],
+        scaling, title="Directory cost scaling with machine size"))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv`` and dispatch to a subcommand; returns exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

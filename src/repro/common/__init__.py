@@ -1,0 +1,43 @@
+"""Common primitive types and errors shared across the package."""
+
+from repro.common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DeadlockError,
+    ProtocolSpecError,
+    ProtocolStateError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.common.types import (
+    AccessType,
+    Address,
+    BlockId,
+    CacheState,
+    DirState,
+    NodeId,
+    TrapKind,
+    block_base,
+    block_of,
+)
+
+__all__ = [
+    "AccessType",
+    "Address",
+    "AllocationError",
+    "BlockId",
+    "CacheState",
+    "ConfigurationError",
+    "DeadlockError",
+    "DirState",
+    "NodeId",
+    "ProtocolSpecError",
+    "ProtocolStateError",
+    "ReproError",
+    "SimulationError",
+    "TrapKind",
+    "WorkloadError",
+    "block_base",
+    "block_of",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything the package raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, protocol, or workload was configured inconsistently."""
+
+
+class ProtocolSpecError(ConfigurationError):
+    """A protocol-notation string or spec could not be parsed/validated."""
+
+
+class ProtocolStateError(ReproError):
+    """An illegal protocol state transition was attempted.
+
+    Raising (rather than silently recovering) turns coherence bugs into
+    immediate, debuggable failures — the simulator is deterministic, so a
+    failing run can always be replayed.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processors were still blocked."""
+
+
+class AllocationError(ReproError):
+    """The shared-memory heap could not satisfy an allocation request."""
+
+
+class WorkloadError(ReproError):
+    """A workload coroutine yielded a malformed operation."""

@@ -1,0 +1,173 @@
+"""Hardware directory entries.
+
+Each block of shared memory has a directory entry at its home node.  For
+the software-extended protocols the entry holds a small, fixed number of
+pointers (0-5 in Alewife) plus the special one-bit pointer for the local
+node, an acknowledgement counter, and bookkeeping for transient states.
+The full-map protocol uses an unbounded pointer set (conceptually one bit
+per node).
+
+Entries are created lazily: an absent entry means ``DirState.ABSENT``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+from repro.common.errors import ProtocolStateError
+from repro.common.types import DirState, NodeId
+
+
+@dataclasses.dataclass
+class DirectoryEntry:
+    """Home-side hardware state for one memory block."""
+
+    capacity: int  # hardware pointers available (ignored for full map)
+    block: int = 0
+    full_map: bool = False
+    home: NodeId = 0
+    use_local_bit: bool = True
+    #: on overflow, software broadcasts instead of extending (Dir1...B);
+    #: per-entry because Alewife reconfigures protocols block-by-block
+    sw_broadcast: bool = False
+
+    state: DirState = DirState.ABSENT
+    pointers: List[NodeId] = dataclasses.field(default_factory=list)
+    local_bit: bool = False
+    #: remote-access bit of the software-only directory (Section 2.3)
+    remote_bit: bool = False
+    #: set when the software directory extension holds pointers for this
+    #: block (writes must then be handled in software)
+    extended: bool = False
+    #: copies granted without recording (broadcast protocols); counted in
+    #: the otherwise-idle acknowledgement counter so CICO check-ins can
+    #: restore exactness and clear the broadcast flag
+    untracked: int = 0
+    #: outstanding invalidation acknowledgements (hardware counter)
+    ack_count: int = 0
+    #: requester being served by an in-flight transaction
+    pending_requester: Optional[NodeId] = None
+    #: owner a FETCH was sent to (transient states only)
+    pending_owner: Optional[NodeId] = None
+    #: the in-flight fetch serves a read request
+    pending_is_read: bool = False
+    #: the in-flight fetch invalidates the owner (vs. downgrading it)
+    fetch_is_inv: bool = False
+    #: a software handler for this block is queued or running; new
+    #: requests receive BUSY until it completes
+    sw_pending: bool = False
+    #: the in-flight write transaction was directed by software (routes
+    #: acknowledgements to the right handler)
+    sw_write: bool = False
+    #: remaining targets of a *sequential* software invalidation
+    #: (Section 7's dynamic invalidation-procedure selection)
+    seq_targets: Optional[List[NodeId]] = None
+    #: migratory-data detection (Section 7, after Cox/Fowler and
+    #: Stenstrom et al.): the block follows a read-modify-write
+    #: migration pattern, so reads are granted exclusively
+    migratory: bool = False
+    migratory_evidence: int = 0
+    migratory_conflicts: int = 0
+    last_writer: Optional[NodeId] = None
+
+    # ------------------------------------------------------------------
+    # Pointer management
+    # ------------------------------------------------------------------
+
+    def has_pointer(self, node: NodeId) -> bool:
+        if self.use_local_bit and node == self.home and self.local_bit:
+            return True
+        return node in self.pointers
+
+    def can_record(self, node: NodeId) -> bool:
+        """Would recording ``node`` succeed without an overflow?"""
+        if self.has_pointer(node):
+            return True
+        if self.use_local_bit and node == self.home:
+            return True
+        return self.full_map or len(self.pointers) < self.capacity
+
+    def record(self, node: NodeId) -> None:
+        """Record a pointer to ``node``; raises on overflow."""
+        if self.has_pointer(node):
+            return
+        if self.use_local_bit and node == self.home:
+            self.local_bit = True
+            return
+        if not self.full_map and len(self.pointers) >= self.capacity:
+            raise ProtocolStateError(
+                f"hardware directory overflow recording node {node} "
+                f"(capacity {self.capacity})"
+            )
+        self.pointers.append(node)
+
+    def drop(self, node: NodeId) -> None:
+        """Remove any pointer to ``node``."""
+        if self.use_local_bit and node == self.home:
+            self.local_bit = False
+        while node in self.pointers:
+            self.pointers.remove(node)
+
+    def take_all_pointers(self) -> List[NodeId]:
+        """Empty the hardware pointer array (the read-overflow handler's
+        action); the local bit stays in hardware."""
+        taken = list(self.pointers)
+        self.pointers.clear()
+        return taken
+
+    def sharer_set(self) -> Set[NodeId]:
+        """All nodes the *hardware* currently points at."""
+        sharers = set(self.pointers)
+        if self.use_local_bit and self.local_bit:
+            sharers.add(self.home)
+        return sharers
+
+    @property
+    def owner(self) -> NodeId:
+        """Owner of a READ_WRITE block."""
+        if self.state is not DirState.READ_WRITE:
+            raise ProtocolStateError(f"no owner in state {self.state}")
+        if self.use_local_bit and self.local_bit:
+            return self.home
+        if len(self.pointers) != 1:
+            raise ProtocolStateError(
+                f"READ_WRITE entry with {len(self.pointers)} pointers"
+            )
+        return self.pointers[0]
+
+    # ------------------------------------------------------------------
+    # Transitions used by the home controller
+    # ------------------------------------------------------------------
+
+    def reset_to_exclusive(self, owner: NodeId) -> None:
+        """Collapse the entry to a single exclusive owner."""
+        self.pointers.clear()
+        self.local_bit = False
+        self.extended = False
+        self.state = DirState.READ_WRITE
+        if self.use_local_bit and owner == self.home:
+            self.local_bit = True
+        else:
+            self.pointers.append(owner)
+        self.ack_count = 0
+        self.pending_requester = None
+        self.sw_write = False
+        self.seq_targets = None
+        self.untracked = 0
+
+    def reset_to_absent(self) -> None:
+        self.pointers.clear()
+        self.local_bit = False
+        self.extended = False
+        self.state = DirState.ABSENT
+        self.ack_count = 0
+        self.pending_requester = None
+        self.sw_write = False
+        self.seq_targets = None
+        self.untracked = 0
+
+    @property
+    def idle(self) -> bool:
+        """No transaction or software handling in flight."""
+        return not self.state.transient and not self.sw_pending

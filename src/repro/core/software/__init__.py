@@ -1,0 +1,34 @@
+"""Protocol extension software: cost model, extended directory, the
+flexible coherence interface, and the protocol handlers."""
+
+from repro.core.software.costmodel import (
+    FLEXIBLE,
+    OPTIMIZED,
+    TABLE2_ACTIVITIES,
+    CostModel,
+    HandlerCost,
+)
+from repro.core.software.extdir import (
+    SMALL_SET_THRESHOLD,
+    ExtendedDirectory,
+    ExtensionRecord,
+    SoftwareDirectory,
+    SoftwareDirEntry,
+)
+from repro.core.software.handlers import ProtocolSoftware
+from repro.core.software.interface import CoherenceInterface
+
+__all__ = [
+    "CoherenceInterface",
+    "CostModel",
+    "ExtendedDirectory",
+    "ExtensionRecord",
+    "FLEXIBLE",
+    "HandlerCost",
+    "OPTIMIZED",
+    "ProtocolSoftware",
+    "SMALL_SET_THRESHOLD",
+    "SoftwareDirEntry",
+    "SoftwareDirectory",
+    "TABLE2_ACTIVITIES",
+]

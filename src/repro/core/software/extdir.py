@@ -1,0 +1,140 @@
+"""Software-extended directory structures.
+
+The flexible coherence interface provides a free-listing memory manager
+and hash-table administration for the software side of the directory
+(Section 4.1).  This module models those structures functionally: a hash
+table mapping block id to an extension record.  Records smaller than the
+small-set threshold use an inline array (the Section 5 memory-usage
+optimization); larger ones use chained chunks drawn from a free list.
+
+For the software-only directory (``DirnH0SNB,ACK``) the extension record
+carries the *entire* protocol state, since there is no hardware directory
+at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.common.types import DirState, NodeId
+
+#: Worker sets of this size or smaller can use the inline small-set
+#: representation (Section 5).
+SMALL_SET_THRESHOLD = 4
+
+#: Pointers per chained directory-extension chunk.
+CHUNK_POINTERS = 8
+
+
+@dataclasses.dataclass
+class ExtensionRecord:
+    """Software-held pointers for one block (the 2..n-1 pointer and
+    one-pointer protocols)."""
+
+    block: int
+    sharers: Set[NodeId] = dataclasses.field(default_factory=set)
+    #: acknowledgements still outstanding when software counts them
+    sw_ack_count: int = 0
+
+    @property
+    def is_small(self) -> bool:
+        return len(self.sharers) <= SMALL_SET_THRESHOLD
+
+    @property
+    def chunks(self) -> int:
+        """Free-list chunks this record occupies."""
+        if self.is_small:
+            return 0
+        return -(-len(self.sharers) // CHUNK_POINTERS)
+
+
+@dataclasses.dataclass
+class SoftwareDirEntry:
+    """Complete software-held protocol state for one block (software-only
+    directory, Section 2.3)."""
+
+    block: int
+    state: DirState = DirState.ABSENT
+    sharers: Set[NodeId] = dataclasses.field(default_factory=set)
+    owner: Optional[NodeId] = None
+    sw_ack_count: int = 0
+    pending_requester: Optional[NodeId] = None
+    pending_write: bool = False
+    #: the remote-access bit of Section 2.3: set once any other node has
+    #: touched the block, after which every access traps to software
+    remote_bit: bool = False
+
+    @property
+    def is_small(self) -> bool:
+        return len(self.sharers) <= SMALL_SET_THRESHOLD
+
+
+class ExtendedDirectory:
+    """Hash table of extension records with free-list accounting."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ExtensionRecord] = {}
+        # Free-list statistics (the flexible interface's memory manager).
+        self.allocations = 0
+        self.frees = 0
+        self.peak_records = 0
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup(self, block: int) -> Optional[ExtensionRecord]:
+        return self._records.get(block)
+
+    def get_or_create(self, block: int) -> ExtensionRecord:
+        record = self._records.get(block)
+        if record is None:
+            record = ExtensionRecord(block)
+            self._records[block] = record
+            self.allocations += 1
+            self.peak_records = max(self.peak_records, len(self._records))
+        return record
+
+    def free(self, block: int) -> Optional[ExtensionRecord]:
+        record = self._records.pop(block, None)
+        if record is not None:
+            self.frees += 1
+        return record
+
+    def blocks(self) -> List[int]:
+        return list(self._records)
+
+    @property
+    def live_chunks(self) -> int:
+        return sum(r.chunks for r in self._records.values())
+
+
+class SoftwareDirectory:
+    """Hash table of complete software directory entries (H0)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, SoftwareDirEntry] = {}
+        self.allocations = 0
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, block: int) -> Optional[SoftwareDirEntry]:
+        return self._entries.get(block)
+
+    def get_or_create(self, block: int) -> SoftwareDirEntry:
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = SoftwareDirEntry(block)
+            self._entries[block] = entry
+            self.allocations += 1
+        return entry
+
+    def blocks(self) -> List[int]:
+        return list(self._entries)

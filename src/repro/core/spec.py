@@ -1,0 +1,262 @@
+"""Protocol notation and specification (paper Section 2.5).
+
+The paper introduces the notation ``Dir_i H_X S_Y,A`` for the spectrum of
+software-extended protocols:
+
+- ``i`` — total explicit pointers recorded (hardware + software); ``n``
+  means the directory is extended in software to the full node count.
+- ``X`` — pointers implemented in hardware (or ``NB`` when all ``i``
+  pointers are in hardware and no software extension exists).
+- ``Y`` — ``NB`` if the hardware/software combination never broadcasts,
+  ``B`` if software broadcasts when more than ``i`` copies exist, ``-``
+  if there is no software at all (full map).
+- ``A`` — ``ACK`` if software traps on *every* acknowledgement, ``LACK``
+  if it traps only on the *last* acknowledgement, absent if hardware
+  keeps the count.
+
+Examples from the paper::
+
+    DirnHNBS-        full-map (DASH-style), no software
+    DirnH5SNB        LimitLESS with five hardware pointers (Alewife boot default)
+    DirnH1SNB,ACK    one-pointer, software counts every ack
+    DirnH1SNB,LACK   one-pointer, hardware counts, trap on last ack
+    DirnH1SNB        one-pointer, hardware counts and replies (2 physical ptrs)
+    DirnH0SNB,ACK    software-only directory
+    Dir1H1SB,LACK    Dir1SW (Wood et al.): one pointer total, software broadcast
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.common.errors import ProtocolSpecError
+
+
+class AckMode(enum.Enum):
+    """Who processes invalidation acknowledgements after an overflow."""
+
+    HARDWARE = "hardware"  # hardware counts and completes
+    LAST_SOFTWARE = "lack"  # hardware counts, software trap on the last
+    SOFTWARE = "ack"  # software trap on every acknowledgement
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolSpec:
+    """A point in the software-extended protocol spectrum.
+
+    Attributes
+    ----------
+    hw_pointers:
+        Directory pointers implemented in hardware (0..5 in Alewife).
+        Ignored when ``full_map`` is set.
+    full_map:
+        ``DirnHNBS-``: one pointer per node, entirely in hardware.
+    sw_extension:
+        Software extends the directory to ``n`` pointers on overflow
+        (the ``Dirn...`` protocols).  ``False`` with ``sw_broadcast``
+        gives the ``Dir1...B`` broadcast protocols.
+    sw_broadcast:
+        On a write to an overflowed block, software broadcasts
+        invalidations to every node instead of walking recorded pointers.
+    ack_mode:
+        Acknowledgement handling after a software-directed invalidation.
+    local_bit:
+        Alewife's one-bit pointer for the home node (Section 3.1); it
+        prevents the local node from overflowing its own directory.
+    smallset_opt:
+        Memory-usage optimization for worker sets of four or fewer
+        (Section 5); implemented by the 0/1-pointer protocols.
+    """
+
+    hw_pointers: int = 5
+    full_map: bool = False
+    sw_extension: bool = True
+    sw_broadcast: bool = False
+    ack_mode: AckMode = AckMode.HARDWARE
+    local_bit: bool = True
+    smallset_opt: bool = False
+
+    def __post_init__(self) -> None:
+        if self.full_map:
+            if self.sw_broadcast or self.ack_mode is not AckMode.HARDWARE:
+                raise ProtocolSpecError("full-map takes no software options")
+            return
+        if self.hw_pointers < 0:
+            raise ProtocolSpecError("hw_pointers must be >= 0")
+        if self.sw_broadcast and self.sw_extension:
+            raise ProtocolSpecError(
+                "broadcast (Y=B) and software pointer extension (Dirn) "
+                "are mutually exclusive"
+            )
+        if not self.sw_extension and not self.sw_broadcast:
+            raise ProtocolSpecError(
+                "a non-full-map protocol needs software extension or "
+                "software broadcast"
+            )
+        if self.hw_pointers == 0:
+            if self.ack_mode is not AckMode.SOFTWARE:
+                raise ProtocolSpecError(
+                    "the software-only directory counts every ack in "
+                    "software (DirnH0SNB,ACK)"
+                )
+            if self.local_bit:
+                raise ProtocolSpecError(
+                    "the software-only directory has no hardware pointers, "
+                    "including the local bit (it uses a remote-access bit "
+                    "instead)"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def needs_software(self) -> bool:
+        return not self.full_map
+
+    @property
+    def is_software_only(self) -> bool:
+        return not self.full_map and self.hw_pointers == 0
+
+    @property
+    def traps_on_read_overflow(self) -> bool:
+        """Dirn protocols trap when a read overflows the hardware
+        pointers; Dir1...B protocols do not (Section 2.5)."""
+        return self.sw_extension and not self.full_map
+
+    @property
+    def name(self) -> str:
+        """Canonical notation string (``Dir_i H_X S_Y,A`` flattened)."""
+        if self.full_map:
+            return "DirnHNBS-"
+        i = "n" if self.sw_extension else str(self.hw_pointers)
+        y = "B" if self.sw_broadcast else "NB"
+        suffix = {
+            AckMode.HARDWARE: "",
+            AckMode.LAST_SOFTWARE: ",LACK",
+            AckMode.SOFTWARE: ",ACK",
+        }[self.ack_mode]
+        return f"Dir{i}H{self.hw_pointers}S{y}{suffix}"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+
+    _PATTERN: ClassVar[re.Pattern] = re.compile(
+        r"^Dir(?P<i>n|\d+)H(?P<x>NB|\d+)S(?P<y>NB|B|-)"
+        r"(?:,(?P<a>ACK|LACK))?$",
+        re.IGNORECASE,
+    )
+
+    _ALIASES: ClassVar[Dict[str, str]] = {
+        "full-map": "DirnHNBS-",
+        "fullmap": "DirnHNBS-",
+        "full": "DirnHNBS-",
+        "software-only": "DirnH0SNB,ACK",
+        "limitless1": "DirnH1SNB",
+        "limitless2": "DirnH2SNB",
+        "limitless4": "DirnH4SNB",
+        "limitless5": "DirnH5SNB",
+        "dir1sw": "Dir1H1SB,LACK",
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "ProtocolSpec":
+        """Parse a notation string (or friendly alias) into a spec."""
+        raw = text.strip()
+        canonical = cls._ALIASES.get(raw.lower(), raw)
+        normalized = canonical.replace(" ", "").replace("_", "")
+        match = cls._PATTERN.match(normalized)
+        if match is None:
+            raise ProtocolSpecError(f"cannot parse protocol {text!r}")
+        i = match.group("i").lower()
+        x = match.group("x").upper()
+        y = match.group("y").upper()
+        a = (match.group("a") or "").upper()
+
+        if x == "NB":
+            if y != "-" or a:
+                raise ProtocolSpecError(
+                    f"{text!r}: H=NB (full-map) cannot take software options"
+                )
+            return cls(full_map=True, hw_pointers=0, sw_extension=False,
+                       sw_broadcast=False, local_bit=True)
+
+        hw = int(x)
+        ack = {
+            "": AckMode.HARDWARE,
+            "ACK": AckMode.SOFTWARE,
+            "LACK": AckMode.LAST_SOFTWARE,
+        }[a]
+        sw_extension = i == "n"
+        sw_broadcast = y == "B"
+        if not sw_extension:
+            if int(i) != hw:
+                raise ProtocolSpecError(
+                    f"{text!r}: without software extension the explicit "
+                    f"pointer count must equal the hardware pointer count"
+                )
+            if not sw_broadcast:
+                raise ProtocolSpecError(
+                    f"{text!r}: Dir{i} with S=NB would simply be a limited "
+                    f"directory with no software; use B or Dirn"
+                )
+        local_bit = hw > 0
+        smallset = hw <= 1 and sw_extension
+        return cls(
+            hw_pointers=hw,
+            full_map=False,
+            sw_extension=sw_extension,
+            sw_broadcast=sw_broadcast,
+            ack_mode=ack,
+            local_bit=local_bit,
+            smallset_opt=smallset,
+        )
+
+    def with_updates(self, **changes: object) -> "ProtocolSpec":
+        return dataclasses.replace(self, **changes)
+
+
+#: Protocols the Alewife hardware itself supports (Section 3.1), for
+#: reference and for tests that distinguish machine-supported protocols
+#: from simulator-only ones (the one-pointer variants run only in NWO).
+ALEWIFE_SUPPORTED: Tuple[str, ...] = (
+    "DirnH0SNB,ACK",
+    "DirnH2SNB",
+    "DirnH3SNB",
+    "DirnH4SNB",
+    "DirnH5SNB",
+)
+
+#: The spectrum evaluated throughout the paper's figures.
+PAPER_SPECTRUM: Tuple[str, ...] = (
+    "DirnH0SNB,ACK",
+    "DirnH1SNB,ACK",
+    "DirnH1SNB,LACK",
+    "DirnH1SNB",
+    "DirnH2SNB",
+    "DirnH3SNB",
+    "DirnH4SNB",
+    "DirnH5SNB",
+    "DirnHNBS-",
+)
+
+
+def spec_of(protocol: "ProtocolSpec | str") -> ProtocolSpec:
+    """Coerce a protocol argument (spec or notation string) to a spec."""
+    if isinstance(protocol, ProtocolSpec):
+        return protocol
+    return ProtocolSpec.parse(protocol)
+
+
+def hardware_pointer_label(spec: ProtocolSpec, n_nodes: Optional[int] = None) -> str:
+    """Label used on the x-axis of Figure 4 ('number of hardware pointers')."""
+    if spec.full_map:
+        return str(n_nodes) if n_nodes is not None else "n"
+    return str(spec.hw_pointers)

@@ -1,0 +1,20 @@
+"""Machine model: nodes, processor, heap, barrier, and the driver."""
+
+from repro.machine.barrier import BarrierManager
+from repro.machine.heap import SharedHeap
+from repro.machine.machine import CodeRef, Machine
+from repro.machine.node import Node
+from repro.machine.params import WORD_BYTES, MachineParams
+from repro.machine.processor import ProcState, Processor
+
+__all__ = [
+    "BarrierManager",
+    "CodeRef",
+    "Machine",
+    "MachineParams",
+    "Node",
+    "ProcState",
+    "Processor",
+    "SharedHeap",
+    "WORD_BYTES",
+]

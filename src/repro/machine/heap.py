@@ -1,0 +1,80 @@
+"""Shared-memory heap with placement and cache-colour control.
+
+Alewife's shared address space is segmented: each node owns 4 Mbytes of
+globally shared memory.  Workloads allocate explicitly on a chosen home
+node (location-independent addressing means any node can then access the
+data by address alone).
+
+The allocator also supports *cache colouring*: requesting an address
+whose block maps to a given direct-mapped cache set.  The TSP case study
+(Section 6) hinges on two globally-shared blocks that happen to conflict
+with hot instruction lines in the combined direct-mapped cache; colouring
+lets the workloads reproduce (or avoid) exactly that layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import AllocationError
+from repro.machine.params import MachineParams
+
+
+class SharedHeap:
+    """Per-node bump allocator over the segmented shared address space."""
+
+    def __init__(self, params: MachineParams, reserved_blocks: int) -> None:
+        self.params = params
+        self._reserved_words = reserved_blocks * params.block_words
+        if self._reserved_words >= params.local_mem_words:
+            raise AllocationError("code region exceeds local memory")
+        # Stagger each node's heap origin across a 64-block window.  The
+        # segments of different nodes alias to the same direct-mapped
+        # cache sets (segment size is a multiple of the cache size), so
+        # without staggering, "the same" allocation on every node would
+        # conflict machine-wide.  This models the DRAM page mapping the
+        # paper identifies as a first-order design factor (Section 8).
+        self._next: List[int] = [
+            params.node_base_addr(node)
+            + self._reserved_words
+            + ((node * 17) % 64) * params.block_words
+            for node in range(params.n_nodes)
+        ]
+        self._start = list(self._next)
+
+    def alloc(self, node: int, words: int,
+              color: Optional[int] = None) -> int:
+        """Allocate ``words`` words homed on ``node``.
+
+        Allocations are block-aligned.  With ``color``, the first block
+        of the allocation maps to direct-mapped cache set ``color``.
+        """
+        if not 0 <= node < self.params.n_nodes:
+            raise AllocationError(f"no such node {node}")
+        if words <= 0:
+            raise AllocationError(f"invalid allocation size {words}")
+        block_words = self.params.block_words
+        addr = self._next[node]
+        addr = -(-addr // block_words) * block_words  # round up to a block
+        if color is not None:
+            sets = self.params.cache_sets
+            if not 0 <= color < sets:
+                raise AllocationError(f"invalid cache colour {color}")
+            block = addr // block_words
+            skip = (color - block) % sets
+            addr += skip * block_words
+        end = addr + words
+        limit = self.params.node_base_addr(node) + self.params.local_mem_words
+        if end > limit:
+            raise AllocationError(
+                f"node {node} out of shared memory ({end - limit} words over)"
+            )
+        self._next[node] = end
+        return addr
+
+    def alloc_block(self, node: int, color: Optional[int] = None) -> int:
+        """Allocate exactly one block; returns its first word address."""
+        return self.alloc(node, self.params.block_words, color)
+
+    def words_used(self, node: int) -> int:
+        return self._next[node] - self._start[node]

@@ -1,0 +1,92 @@
+"""A processing node: processor + cache controller + home controller.
+
+The node also plays the role of the CMMU's message dispatcher: incoming
+fabric messages are routed to the cache side, the memory (home) side, or
+the barrier tree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.common.errors import ProtocolStateError
+from repro.core import messages as msg
+from repro.core.cache_ctrl import CacheController
+from repro.core.home import HardwareHomeController, SoftwareOnlyHomeController
+from repro.core.messages import ProtoPayload, message_size
+from repro.machine.sync import LOCK_KINDS, REDUCE_KINDS
+from repro.core.software.interface import CoherenceInterface
+from repro.machine.processor import Processor
+from repro.network.fabric import Message
+from repro.sim.stats import NodeStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+_CACHE_SIDE = frozenset(
+    {msg.RDATA, msg.WDATA, msg.BUSY, msg.INV, msg.FETCH_RD, msg.FETCH_INV}
+)
+_HOME_SIDE = frozenset(
+    {msg.RREQ, msg.WREQ, msg.ACK, msg.FETCH_DATA, msg.EVICT_WB, msg.RELINQ}
+)
+_BARRIER = frozenset({msg.BAR_UP, msg.BAR_DOWN})
+
+HomeController = Union[HardwareHomeController, SoftwareOnlyHomeController]
+
+
+class Node:
+    """One Alewife node."""
+
+    def __init__(self, node_id: int, machine: "Machine") -> None:
+        self.id = node_id
+        self.machine = machine
+        self.stats = NodeStats(node=node_id)
+        self.processor = Processor(self)
+        self.cache_ctrl = CacheController(self)
+        spec = machine.spec
+        self.interface: Optional[CoherenceInterface] = None
+        if spec.needs_software:
+            self.interface = CoherenceInterface(
+                self, spec, machine.software_implementation
+            )
+        if spec.is_software_only:
+            assert self.interface is not None
+            self.home: HomeController = SoftwareOnlyHomeController(
+                self, spec, self.interface
+            )
+        else:
+            self.home = HardwareHomeController(self, spec, self.interface)
+        self.processor.watchdog_enabled = machine.watchdog_enabled
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send_protocol(self, kind: str, dst: int, block: int,
+                      requester: Optional[int] = None,
+                      extra_delay: int = 0) -> None:
+        """Launch a protocol (or barrier) message into the fabric."""
+        params = self.machine.params
+        size = message_size(kind, params.header_flits, params.data_flits)
+        self.stats.messages_sent[kind] += 1
+        self.machine.fabric.send(
+            Message(src=self.id, dst=dst, kind=kind, size_flits=size,
+                    payload=ProtoPayload(block=block, requester=requester)),
+            extra_delay=extra_delay,
+        )
+
+    def receive(self, message: Message) -> None:
+        """Fabric delivery callback: route to the right component."""
+        kind = message.kind
+        if kind in _CACHE_SIDE:
+            self.cache_ctrl.handle(message)
+        elif kind in _HOME_SIDE:
+            self.home.handle(message)
+        elif kind in _BARRIER:
+            self.machine.barrier.handle(message)
+        elif kind in LOCK_KINDS:
+            self.machine.locks.handle(message)
+        elif kind in REDUCE_KINDS:
+            self.machine.reductions.handle(message)
+        else:
+            raise ProtocolStateError(f"node {self.id} received {kind}")

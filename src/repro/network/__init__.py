@@ -1,0 +1,7 @@
+"""Interconnect: 2-D mesh topology and the contention-modelling fabric."""
+
+from repro.network.detailed import DetailedFabric
+from repro.network.fabric import Fabric, Message
+from repro.network.topology import Mesh
+
+__all__ = ["DetailedFabric", "Fabric", "Mesh", "Message"]

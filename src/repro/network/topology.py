@@ -1,0 +1,71 @@
+"""2-D mesh topology with dimension-ordered routing.
+
+Alewife's interconnect is a mesh (Seitz-style); NWO models contention at
+the CMMU transmit and receive queues but not within the switches, so the
+only topological quantity the fabric needs is the hop count between two
+nodes under dimension-ordered (X then Y) routing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class Mesh:
+    """A ``side`` x ``side`` 2-D mesh of nodes numbered row-major."""
+
+    def __init__(self, n_nodes: int) -> None:
+        side = int(math.isqrt(n_nodes))
+        if side * side != n_nodes or n_nodes < 1:
+            raise ConfigurationError(
+                f"mesh requires a square node count, got {n_nodes}"
+            )
+        self.n_nodes = n_nodes
+        self.side = side
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of ``node``."""
+        self._check(node)
+        return node % self.side, node // self.side
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at mesh coordinates (x, y)."""
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise ConfigurationError(f"coordinates ({x}, {y}) out of range")
+        return y * self.side + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Nodes visited under X-then-Y dimension-ordered routing."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    def neighbours(self, node: int) -> Iterator[int]:
+        """Mesh neighbours of ``node``."""
+        x, y = self.coords(node)
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.side and 0 <= ny < self.side:
+                yield self.node_at(nx, ny)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(f"node {node} out of range")

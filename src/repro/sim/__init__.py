@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation engine and statistics."""
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import HandlerSample, NodeStats, RunStats
+from repro.sim.trace import ProtocolTracer, TraceRecord
+
+__all__ = [
+    "HandlerSample",
+    "NodeStats",
+    "ProtocolTracer",
+    "RunStats",
+    "Simulator",
+    "TraceRecord",
+]

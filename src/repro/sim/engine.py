@@ -1,0 +1,115 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event heap keyed on ``(time, sequence)``.  The
+sequence number makes execution fully deterministic: two events scheduled
+for the same cycle fire in the order they were scheduled.  Determinism is
+a headline property of NWO (the paper's simulator) and we preserve it —
+every experiment in this repository is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+Event = Tuple[int, int, Callable[[], None]]
+
+
+class Simulator:
+    """Event-driven simulator with integer cycle time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Event] = []
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self._now + delay, fn)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        idle_check: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Run events until the heap drains, ``until`` cycles pass, or
+        :meth:`stop` is called.
+
+        Parameters
+        ----------
+        until:
+            Absolute cycle limit; events at later times stay queued.
+        max_events:
+            Safety valve against runaway simulations.
+        idle_check:
+            Called once when the event heap drains; may raise (e.g. a
+            deadlock detector that knows processors are still blocked).
+
+        Returns
+        -------
+        int
+            The simulation time when the run loop exited.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                time, _seq, fn = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                fn()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self._now}"
+                    )
+            else:
+                if not self._heap and idle_check is not None:
+                    idle_check()
+        finally:
+            self._running = False
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

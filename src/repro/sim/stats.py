@@ -1,0 +1,141 @@
+"""Statistics collection.
+
+Every node owns a :class:`NodeStats`; the machine aggregates them into a
+:class:`RunStats` at the end of a run.  Handler-latency *samples* (used to
+regenerate Tables 1 and 2 of the paper) are recorded per software request
+with their full per-activity breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclasses.dataclass
+class HandlerSample:
+    """One software protocol-handler invocation.
+
+    ``breakdown`` maps activity name -> cycles; ``latency`` is its sum.
+    """
+
+    kind: str  # "read" | "write" | "ack" | "last_ack" | "local" | ...
+    implementation: str  # "flexible" | "optimized"
+    node: int
+    pointers: int  # pointers handled (emptied or invalidated)
+    latency: int
+    breakdown: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class NodeStats:
+    """Event counters for a single node."""
+
+    node: int
+    user_cycles: int = 0
+    stall_cycles: int = 0
+    handler_cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    ifetches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    victim_hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    traps: Counter = dataclasses.field(default_factory=Counter)
+    messages_sent: Counter = dataclasses.field(default_factory=Counter)
+    invalidations_hw: int = 0
+    invalidations_sw: int = 0
+    busy_replies: int = 0
+    retries: int = 0
+    watchdog_activations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores + self.ifetches
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 1.0
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Aggregated results of one simulation run."""
+
+    run_cycles: int
+    n_nodes: int
+    per_node: List[NodeStats]
+    handler_samples: List[HandlerSample]
+    sequential_cycles: int
+    worker_set_histogram: Optional[Mapping[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def total(self, field: str) -> int:
+        """Sum an integer counter field across nodes."""
+        return sum(getattr(ns, field) for ns in self.per_node)
+
+    @property
+    def total_traps(self) -> int:
+        return sum(sum(ns.traps.values()) for ns in self.per_node)
+
+    def traps_by_kind(self) -> Counter:
+        out: Counter = Counter()
+        for ns in self.per_node:
+            out.update(ns.traps)
+        return out
+
+    def messages_by_kind(self) -> Counter:
+        out: Counter = Counter()
+        for ns in self.per_node:
+            out.update(ns.messages_sent)
+        return out
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over a sequential run without multiprocessor overhead.
+
+        This matches the paper's Figure 4 metric: the denominator is the
+        time the same work would take on one node with every access a
+        cache hit.
+        """
+        if self.run_cycles == 0:
+            return 0.0
+        return self.sequential_cycles / self.run_cycles
+
+    @property
+    def processor_utilization(self) -> float:
+        """Fraction of processor cycles spent running user code."""
+        total = self.run_cycles * self.n_nodes
+        return self.total("user_cycles") / total if total else 0.0
+
+    def mean_handler_latency(self, kind: str, implementation: str) -> float:
+        """Mean latency of handler invocations of ``kind``."""
+        vals = [
+            s.latency
+            for s in self.handler_samples
+            if s.kind == kind and s.implementation == implementation
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def median_handler_sample(
+        self, kind: str, implementation: str
+    ) -> Optional[HandlerSample]:
+        """The median-latency sample of ``kind`` (Table 2's methodology)."""
+        samples = sorted(
+            (
+                s
+                for s in self.handler_samples
+                if s.kind == kind and s.implementation == implementation
+            ),
+            key=lambda s: s.latency,
+        )
+        if not samples:
+            return None
+        return samples[len(samples) // 2]

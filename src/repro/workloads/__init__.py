@@ -1,0 +1,30 @@
+"""Workloads: the WORKER synthetic benchmark and the six applications."""
+
+from repro.workloads.aq import ANALYTIC_RESULT, AdaptiveQuadrature
+from repro.workloads.base import Op, Workload, det_rand, det_uniform
+from repro.workloads.evolve import Evolve
+from repro.workloads.mp3d import MP3D
+from repro.workloads.smgrid import StaticMultigrid
+from repro.workloads.synthetic import SyntheticSharing, figure6_like_histogram
+from repro.workloads.tsp import TSP, held_karp, tour_distances
+from repro.workloads.water import Water
+from repro.workloads.worker import WorkerBenchmark
+
+__all__ = [
+    "ANALYTIC_RESULT",
+    "AdaptiveQuadrature",
+    "Evolve",
+    "MP3D",
+    "Op",
+    "StaticMultigrid",
+    "SyntheticSharing",
+    "TSP",
+    "Water",
+    "Workload",
+    "WorkerBenchmark",
+    "det_rand",
+    "det_uniform",
+    "figure6_like_histogram",
+    "held_karp",
+    "tour_distances",
+]

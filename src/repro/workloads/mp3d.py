@@ -1,0 +1,177 @@
+"""MP3D: rarefied hypersonic flow simulation (paper Section 6; SPLASH).
+
+MP3D moves particles through a 3-D wind-tunnel of space cells in discrete
+time steps.  Particle records are owned by (and local to) the node that
+moves them, but each move performs a read-modify-write of the shared
+*space-cell* record the particle lands in (cell occupancy and collision
+bookkeeping).  Particles of different nodes constantly land in the same
+cells, so cell blocks migrate from writer to writer — the notorious
+sharing behaviour that earns MP3D its low speedups, and, in this paper,
+that makes the software-only directory achieve just a fraction of the
+full-map speedup (Figure 4e).
+
+We run the paper's configuration in spirit: locking off (cell updates are
+unsynchronised read-modify-writes, exactly as in the no-locking SPLASH
+variant), and the physics reduced to deterministic ballistic motion with
+specular wall reflection.  Tests check particle-count conservation and
+determinism of the final state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Op, Workload, det_rand, det_uniform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+#: processor cycles to advance one particle (position/velocity update)
+MOVE_CYCLES = 110
+
+#: processor cycles for the cell collision bookkeeping
+CELL_CYCLES = 45
+
+
+class Particle:
+    """One simulated molecule."""
+
+    __slots__ = ("x", "y", "z", "vx", "vy", "vz")
+
+    def __init__(self, x: float, y: float, z: float,
+                 vx: float, vy: float, vz: float) -> None:
+        self.x, self.y, self.z = x, y, z
+        self.vx, self.vy, self.vz = vx, vy, vz
+
+
+class MP3D(Workload):
+    """Particle-in-cell simulation with shared space-cell records."""
+
+    name = "mp3d"
+
+    def __init__(self, n_particles: int = 1536, steps: int = 3,
+                 cells_per_side: int = 8, seed: int = 23) -> None:
+        if n_particles < 1 or steps < 1:
+            raise ConfigurationError("invalid MP3D configuration")
+        if cells_per_side < 2:
+            raise ConfigurationError("need at least 2 cells per side")
+        self.n_particles = n_particles
+        self.steps = steps
+        self.cells_per_side = cells_per_side
+        self.seed = seed
+        self.particles: List[Particle] = []
+        self.collisions: int = 0
+        self.final_checksum: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def setup(self, machine: "Machine") -> None:
+        params = machine.params
+        n_nodes = params.n_nodes
+        heap = machine.heap
+        self._code = machine.register_code("mp3d-move", lines=2)
+        side = self.cells_per_side
+        n_cells = side ** 3
+        # Space-cell records: one block each, hash-distributed over homes
+        # (the tunnel's hot entry region would otherwise pile onto a few
+        # nodes).
+        self.cell_addrs = [
+            heap.alloc_block(det_rand(self.seed, 1, cell) % n_nodes)
+            for cell in range(n_cells)
+        ]
+        #: deterministic cell occupancy counters (the real data)
+        self.cell_counts: Dict[int, int] = {}
+        # Particle records: three words each, resident with their owner.
+        per_node = -(-self.n_particles // n_nodes)
+        self._owned: List[List[int]] = []
+        self.particle_addrs: List[int] = [0] * self.n_particles
+        for node in range(n_nodes):
+            owned = [p for p in range(self.n_particles)
+                     if p // per_node == node]
+            self._owned.append(owned)
+            for p in owned:
+                self.particle_addrs[p] = heap.alloc(node, 3)
+        # Deterministic initial conditions: a stream entering the tunnel.
+        self.particles = []
+        for p in range(self.n_particles):
+            self.particles.append(Particle(
+                x=det_uniform(0.0, 1.0, self.seed, p, 1),
+                y=det_uniform(0.0, 1.0, self.seed, p, 2),
+                z=det_uniform(0.0, 0.25, self.seed, p, 3),
+                vx=det_uniform(-0.04, 0.04, self.seed, p, 4),
+                vy=det_uniform(-0.04, 0.04, self.seed, p, 5),
+                vz=det_uniform(0.05, 0.15, self.seed, p, 6),
+            ))
+        # Global step-statistics record: read by every node at the top
+        # of each step, written by node 0 between steps (the ambient
+        # counters the SPLASH code keeps).
+        self.global_addr = heap.alloc_block(0)
+        self.collisions = 0
+        self.final_checksum = 0.0
+
+    # ------------------------------------------------------------------
+    # Physics (deterministic; independent of simulated timing)
+    # ------------------------------------------------------------------
+
+    def cell_of(self, particle: Particle) -> int:
+        side = self.cells_per_side
+        cx = min(int(particle.x * side), side - 1)
+        cy = min(int(particle.y * side), side - 1)
+        cz = min(int(particle.z * side), side - 1)
+        return (cz * side + cy) * side + cx
+
+    @staticmethod
+    def _bounce(pos: float, vel: float) -> Tuple[float, float]:
+        if pos < 0.0:
+            return -pos, -vel
+        if pos > 1.0:
+            return 2.0 - pos, -vel
+        return pos, vel
+
+    def _move(self, particle: Particle) -> None:
+        particle.x, particle.vx = self._bounce(
+            particle.x + particle.vx, particle.vx)
+        particle.y, particle.vy = self._bounce(
+            particle.y + particle.vy, particle.vy)
+        particle.z, particle.vz = self._bounce(
+            particle.z + particle.vz, particle.vz)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def thread(self, machine: "Machine", node_id: int) -> Iterator[Op]:
+        code = self._code
+        owned = self._owned[node_id]
+        for step in range(self.steps):
+            yield ("read", self.global_addr)
+            for p in owned:
+                particle = self.particles[p]
+                yield ("read", self.particle_addrs[p])
+                yield ("compute", MOVE_CYCLES, code)
+                self._move(particle)
+                cell = self.cell_of(particle)
+                # Unsynchronised read-modify-write of the shared cell
+                # record (locking off, as in the paper's runs).
+                addr = self.cell_addrs[cell]
+                yield ("read", addr)
+                yield ("compute", CELL_CYCLES, code)
+                yield ("write", addr)
+                occupancy = self.cell_counts.get(cell, 0)
+                if occupancy:
+                    self.collisions += 1
+                self.cell_counts[cell] = occupancy + 1
+                yield ("write", self.particle_addrs[p])
+            yield ("barrier",)
+            if node_id == 0:
+                self.cell_counts.clear()
+                if step % 2 == 0:
+                    yield ("write", self.global_addr)
+            yield ("barrier",)
+        if node_id == 0:
+            self.final_checksum = sum(
+                pt.x + pt.y + pt.z for pt in self.particles)
+        yield ("barrier",)

@@ -1,0 +1,296 @@
+"""SMGRID: static multigrid PDE solver (paper Section 6).
+
+Solves a Poisson problem on a square grid with the multigrid method:
+Jacobi relaxation sweeps on a pyramid of grids of decreasing resolution,
+with restriction down and prolongation back up (V-cycles).  Two
+properties drive its protocol behaviour, per the paper:
+
+- only a subset of nodes works during relaxation on the upper (coarse)
+  levels of the pyramid, limiting the achievable speedup, and
+- data is more widely shared than in TSP or AQ, which separates the
+  protocols.
+
+The grid is 2-D tiled: each active node owns a tile, stored as one
+row-segment allocation per grid row crossing the tile.  A relaxation
+sweep reads the four halo segments around each row (vertical neighbours'
+boundary rows, horizontal neighbours' edge columns), so tile-edge blocks
+are shared by up to four nodes; the inter-level transfers add the
+overlapping fine/coarse owners as readers, pushing coarse-level worker
+sets past five nodes — exactly the "more widely shared" data that makes
+the software-extended protocols separate.
+
+The numerics are real: tests check that the V-cycles reduce the residual
+of the discrete Poisson equation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Op, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+#: processor cycles per 5-point stencil update (floating-point
+#: loads, adds and the divide, as on Sparcle with the FPU)
+POINT_CYCLES = 40
+
+
+class Level:
+    """One grid level: geometry, tiling, shared storage, and values."""
+
+    def __init__(self, n: int, side: int) -> None:
+        self.n = n  # grid is (n+1) x (n+1); interior points 1..n-1
+        self.side = side  # tile grid is side x side
+        self.u = [[0.0] * (n + 1) for _ in range(n + 1)]
+        self.rhs = [[0.0] * (n + 1) for _ in range(n + 1)]
+        self.new_rows: Dict[Tuple[int, int], List[float]] = {}
+        #: tile index of each grid line (rows and columns use the same map)
+        self.tile_of: List[int] = [self._tile(p) for p in range(n + 1)]
+        #: interior points per tile index
+        self.tile_points: List[List[int]] = [
+            [p for p in range(1, n) if self.tile_of[p] == t]
+            for t in range(side)
+        ]
+        #: (row, tile_col) -> shared segment address
+        self.seg_addr: Dict[Tuple[int, int], int] = {}
+
+    def _tile(self, point: int) -> int:
+        if point <= 1:
+            return 0
+        return min((point - 1) * self.side // (self.n - 1), self.side - 1)
+
+    @property
+    def h(self) -> float:
+        return 1.0 / self.n
+
+    def owner(self, tile_row: int, tile_col: int) -> int:
+        return tile_row * self.side + tile_col
+
+    def active_nodes(self) -> int:
+        return self.side * self.side
+
+
+class StaticMultigrid(Workload):
+    """Multigrid V-cycles over a pyramid of 2-D tiled grids."""
+
+    name = "smgrid"
+
+    def __init__(self, n: int = 128, levels: int = 5, v_cycles: int = 2,
+                 pre_sweeps: int = 2, post_sweeps: int = 1) -> None:
+        if n & (n - 1) or n < 8:
+            raise ConfigurationError("grid size must be a power of two >= 8")
+        if levels < 2 or (n >> (levels - 1)) < 2:
+            raise ConfigurationError("too many levels for this grid")
+        self.n = n
+        self.n_levels = levels
+        self.v_cycles = v_cycles
+        self.pre_sweeps = pre_sweeps
+        self.post_sweeps = post_sweeps
+        self.levels: List[Level] = []
+        self.initial_residual: float = 0.0
+        self.final_residual: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def setup(self, machine: "Machine") -> None:
+        n_nodes = machine.params.n_nodes
+        heap = machine.heap
+        self._code = machine.register_code("smgrid-relax", lines=2)
+        mesh_side = int(math.isqrt(n_nodes))
+        self.levels = []
+        size = self.n
+        for _depth in range(self.n_levels):
+            side = min(mesh_side, size - 1)
+            level = Level(size, side)
+            for i in range(size + 1):
+                tile_row = level.tile_of[i]
+                for tc in range(side):
+                    words = len(level.tile_points[tc]) + 2
+                    owner = level.owner(tile_row, tc)
+                    level.seg_addr[(i, tc)] = heap.alloc(owner, words)
+            self.levels.append(level)
+            size //= 2
+        # Poisson problem: -lap(u) = rhs, true solution x(1-x)y(1-y).
+        fine = self.levels[0]
+        h = fine.h
+        for i in range(fine.n + 1):
+            for j in range(fine.n + 1):
+                x, y = i * h, j * h
+                fine.rhs[i][j] = 2.0 * x * (1.0 - x) + 2.0 * y * (1.0 - y)
+        self.initial_residual = self._residual(fine)
+        self.final_residual = self.initial_residual
+
+    # ------------------------------------------------------------------
+    # Numerics (committed at barrier-separated phase boundaries)
+    # ------------------------------------------------------------------
+
+    def _residual(self, level: Level) -> float:
+        total = 0.0
+        n = level.n
+        h2 = level.h * level.h
+        u = level.u
+        for i in range(1, n):
+            for j in range(1, n):
+                lap = (4.0 * u[i][j] - u[i - 1][j] - u[i + 1][j]
+                       - u[i][j - 1] - u[i][j + 1]) / h2
+                r = level.rhs[i][j] - lap
+                total += r * r
+        return total ** 0.5
+
+    def _relax_segment(self, level: Level, i: int,
+                       cols: List[int]) -> List[float]:
+        h2 = level.h * level.h
+        u = level.u
+        return [
+            (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]
+             + h2 * level.rhs[i][j]) / 4.0
+            for j in cols
+        ]
+
+    def _commit(self, level: Level) -> None:
+        for (i, tc), values in level.new_rows.items():
+            for j, value in zip(level.tile_points[tc], values):
+                level.u[i][j] = value
+        level.new_rows.clear()
+
+    def _restrict(self, fine: Level, coarse: Level) -> None:
+        n = coarse.n
+        h2 = fine.h * fine.h
+        u = fine.u
+        for i in range(1, n):
+            for j in range(1, n):
+                fi, fj = 2 * i, 2 * j
+                lap = (4.0 * u[fi][fj] - u[fi - 1][fj] - u[fi + 1][fj]
+                       - u[fi][fj - 1] - u[fi][fj + 1]) / h2
+                coarse.rhs[i][j] = fine.rhs[fi][fj] - lap
+                coarse.u[i][j] = 0.0
+
+    def _prolong(self, coarse: Level, fine: Level) -> None:
+        n = fine.n
+        cu = coarse.u
+        for i in range(1, n):
+            for j in range(1, n):
+                ci, ri = divmod(i, 2)
+                cj, rj = divmod(j, 2)
+                if ri == 0 and rj == 0:
+                    corr = cu[ci][cj]
+                elif ri == 0:
+                    corr = (cu[ci][cj] + cu[ci][cj + 1]) / 2.0
+                elif rj == 0:
+                    corr = (cu[ci][cj] + cu[ci + 1][cj]) / 2.0
+                else:
+                    corr = (cu[ci][cj] + cu[ci][cj + 1]
+                            + cu[ci + 1][cj] + cu[ci + 1][cj + 1]) / 4.0
+                fine.u[i][j] += corr
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def _tile_coords(self, level: Level, node_id: int) -> "Tuple[int, int] | None":
+        if node_id >= level.active_nodes():
+            return None
+        return divmod(node_id, level.side)
+
+    def _sweep(self, level: Level, node_id: int) -> Iterator[Op]:
+        code = self._code
+        coords = self._tile_coords(level, node_id)
+        if coords is None:
+            yield ("barrier",)
+            yield ("barrier",)
+            return
+        tr, tc = coords
+        rows = level.tile_points[tr]
+        width = len(level.tile_points[tc])
+        for i in rows:
+            # Stencil reads: the three vertically adjacent segments in my
+            # tile column, plus the horizontally adjacent segments that
+            # hold the edge columns.
+            for r in (i - 1, i, i + 1):
+                yield ("read", level.seg_addr[(r, tc)])
+            if tc > 0:
+                yield ("read", level.seg_addr[(i, tc - 1)])
+            if tc < level.side - 1:
+                yield ("read", level.seg_addr[(i, tc + 1)])
+            yield ("compute", POINT_CYCLES * width, code)
+            level.new_rows[(i, tc)] = self._relax_segment(
+                level, i, level.tile_points[tc])
+            yield ("write", level.seg_addr[(i, tc)])
+        yield ("barrier",)
+        if node_id == 0:
+            self._commit(level)
+        yield ("barrier",)
+
+    def _transfer(self, src: Level, dst: Level, node_id: int,
+                  down: bool) -> Iterator[Op]:
+        """Restriction (down) / prolongation (up) memory traffic: the
+        owner of each destination segment reads the source segments that
+        overlap it."""
+        code = self._code
+        coords = self._tile_coords(dst, node_id)
+        if coords is None:
+            yield ("barrier",)
+            return
+        tr, tc = coords
+        rows = dst.tile_points[tr]
+        cols = dst.tile_points[tc]
+        if down:
+            src_cols: Set[int] = {src.tile_of[2 * j] for j in cols}
+        else:
+            src_cols = {src.tile_of[j // 2] for j in cols}
+            src_cols.update(src.tile_of[min(j // 2 + 1, src.n - 1)]
+                            for j in cols)
+        for i in rows:
+            if down:
+                src_rows = (2 * i - 1, 2 * i, 2 * i + 1)
+            else:
+                ci = i // 2
+                src_rows = tuple({max(ci, 1), min(ci + 1, src.n - 1)})
+            for r in src_rows:
+                for sc in sorted(src_cols):
+                    yield ("read", src.seg_addr[(r, sc)])
+            yield ("compute", POINT_CYCLES * len(cols), code)
+            yield ("write", dst.seg_addr[(i, tc)])
+        yield ("barrier",)
+
+    def thread(self, machine: "Machine", node_id: int) -> Iterator[Op]:
+        levels = self.levels
+        for _cycle in range(self.v_cycles):
+            # Down-leg: relax, then restrict the residual.
+            for depth in range(self.n_levels - 1):
+                level = levels[depth]
+                for _s in range(self.pre_sweeps):
+                    for op in self._sweep(level, node_id):
+                        yield op
+                for op in self._transfer(level, levels[depth + 1],
+                                         node_id, down=True):
+                    yield op
+                if node_id == 0:
+                    self._restrict(level, levels[depth + 1])
+                yield ("barrier",)
+            # Coarsest level: extra relaxation.
+            for _s in range(self.pre_sweeps + self.post_sweeps):
+                for op in self._sweep(levels[-1], node_id):
+                    yield op
+            # Up-leg: prolong the correction, then relax.
+            for depth in range(self.n_levels - 2, -1, -1):
+                level = levels[depth]
+                for op in self._transfer(levels[depth + 1], level,
+                                         node_id, down=False):
+                    yield op
+                if node_id == 0:
+                    self._prolong(levels[depth + 1], level)
+                yield ("barrier",)
+                for _s in range(self.post_sweeps):
+                    for op in self._sweep(level, node_id):
+                        yield op
+        yield ("barrier",)
+        if node_id == 0:
+            self.final_residual = self._residual(levels[0])
+        yield ("barrier",)

@@ -1,0 +1,122 @@
+"""Configurable synthetic sharing generator.
+
+WORKER (Section 5) builds memory blocks with one exact worker-set size.
+This generator builds a *population* of blocks following an arbitrary
+worker-set-size histogram — e.g. the EVOLVE-like log-decaying mix of
+Figure 6 — and drives read/write traffic over them.  It is the tool for
+asking "how would a protocol behave on an application whose sharing
+looks like X?" without writing the application.
+
+Reader sets are chosen deterministically per block; writers are the
+block's home by default (matching WORKER) or a rotating member of the
+worker set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Op, Workload, det_rand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+#: compute cycles between accesses
+THINK_CYCLES = 30
+
+
+class SyntheticSharing(Workload):
+    """Traffic over a block population with a given worker-set mix.
+
+    Parameters
+    ----------
+    histogram:
+        worker-set size -> number of blocks with that size.  Sizes are
+        capped at ``n_nodes - 1`` (the writer is extra, as in WORKER).
+    iterations:
+        read/write rounds (each separated by barriers).
+    write_fraction:
+        fraction of blocks written each round (deterministic choice).
+    seed:
+        selects reader sets and homes.
+    """
+
+    name = "synthetic"
+
+    def __init__(self, histogram: Mapping[int, int], iterations: int = 3,
+                 write_fraction: float = 0.5, seed: int = 42) -> None:
+        if not histogram:
+            raise ConfigurationError("histogram must be non-empty")
+        if any(size < 1 or count < 0 for size, count in histogram.items()):
+            raise ConfigurationError("invalid histogram entry")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ConfigurationError("write_fraction must be in [0, 1]")
+        self.histogram = dict(histogram)
+        self.iterations = iterations
+        self.write_fraction = write_fraction
+        self.seed = seed
+        #: per-node work lists, built at setup
+        self.read_lists: List[List[int]] = []
+        self.write_lists: List[List[int]] = []
+        self.blocks_built = 0
+
+    def setup(self, machine: "Machine") -> None:
+        n = machine.params.n_nodes
+        heap = machine.heap
+        self._code = machine.register_code("synthetic-loop", lines=1)
+        self.read_lists = [[] for _ in range(n)]
+        self.write_lists = [[] for _ in range(n)]
+        self.blocks_built = 0
+        index = 0
+        for size in sorted(self.histogram):
+            count = self.histogram[size]
+            capped = min(size, max(n - 1, 1))
+            for _ in range(count):
+                home = det_rand(self.seed, 1, index) % n
+                addr = heap.alloc_block(home)
+                start = det_rand(self.seed, 2, index) % n
+                readers = []
+                offset = 0
+                while len(readers) < capped:
+                    node = (start + offset) % n
+                    offset += 1
+                    if node != home:
+                        readers.append(node)
+                for reader in readers:
+                    self.read_lists[reader].append(addr)
+                writes = det_rand(self.seed, 3, index) % 1000 \
+                    < self.write_fraction * 1000
+                if writes:
+                    self.write_lists[home].append(addr)
+                self.blocks_built += 1
+                index += 1
+        # Rotate each node's read order (anti-stampede, as in WORKER).
+        for node in range(n):
+            reads = self.read_lists[node]
+            if reads:
+                shift = (node * max(len(reads) // 3, 1)) % len(reads)
+                self.read_lists[node] = reads[shift:] + reads[:shift]
+
+    def thread(self, machine: "Machine", node_id: int) -> Iterator[Op]:
+        think = THINK_CYCLES + (node_id * 5) % 13
+        code = self._code
+        for addr in self.write_lists[node_id]:
+            yield ("write", addr)
+            yield ("compute", think, code)
+        yield ("barrier",)
+        for _iteration in range(self.iterations):
+            for addr in self.read_lists[node_id]:
+                yield ("read", addr)
+                yield ("compute", think, code)
+            yield ("barrier",)
+            for addr in self.write_lists[node_id]:
+                yield ("write", addr)
+                yield ("compute", think, code)
+            yield ("barrier",)
+
+
+def figure6_like_histogram(scale: int = 1) -> Dict[int, int]:
+    """A log-decaying worker-set mix shaped like EVOLVE's Figure 6."""
+    base = {1: 96, 2: 48, 4: 20, 8: 8, 12: 4, 16: 2}
+    return {size: count * scale for size, count in base.items()}

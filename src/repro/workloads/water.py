@@ -1,0 +1,169 @@
+"""WATER: molecular dynamics of water molecules (paper Section 6; SPLASH).
+
+Each node owns ``m / p`` molecules.  Every time step it computes the
+pairwise interactions of its molecules with *all* molecules — reading
+every other molecule's state block — then updates its own molecules'
+positions and publishes them (one write per owned molecule, invalidating
+every reader).  Molecule blocks therefore have large *read* worker sets
+but are written only once per step by one node, so all of the
+software-extended protocols achieve good speedups on WATER, and the
+software-only directory reaches roughly 70% of full map (Figure 4f) —
+its traps are dominated by the once-per-step refetch of each molecule.
+
+The forces are a deterministic soft inverse-square interaction with a
+cutoff; tests check momentum conservation and determinism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Op, Workload, det_uniform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+#: processor cycles per pairwise interaction (the O(m^2/2) inner loop)
+PAIR_CYCLES = 700
+
+#: processor cycles to integrate one molecule's motion
+INTEGRATE_CYCLES = 400
+
+#: interaction cutoff distance (box units)
+CUTOFF = 0.5
+
+
+class Molecule:
+    """State of one water molecule (centre of mass)."""
+
+    __slots__ = ("x", "y", "vx", "vy", "fx", "fy")
+
+    def __init__(self, x: float, y: float, vx: float, vy: float) -> None:
+        self.x, self.y = x, y
+        self.vx, self.vy = vx, vy
+        self.fx, self.fy = 0.0, 0.0
+
+
+class Water(Workload):
+    """O(m^2/2) molecular dynamics with owner-writes/global-reads."""
+
+    name = "water"
+
+    def __init__(self, n_molecules: int = 64, steps: int = 3,
+                 dt: float = 0.01, seed: int = 31) -> None:
+        if n_molecules < 2 or steps < 1:
+            raise ConfigurationError("invalid WATER configuration")
+        self.n_molecules = n_molecules
+        self.steps = steps
+        self.dt = dt
+        self.seed = seed
+        self.molecules: List[Molecule] = []
+        self.initial_momentum: Tuple[float, float] = (0.0, 0.0)
+        self.final_momentum: Tuple[float, float] = (0.0, 0.0)
+        self.interactions: int = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def setup(self, machine: "Machine") -> None:
+        n_nodes = machine.params.n_nodes
+        heap = machine.heap
+        self._code = machine.register_code("water-forces", lines=2)
+        per_node = -(-self.n_molecules // n_nodes)
+        self._owned: List[List[int]] = []
+        self.mol_addrs: List[int] = [0] * self.n_molecules
+        for node in range(n_nodes):
+            owned = [m for m in range(self.n_molecules)
+                     if m // per_node == node]
+            self._owned.append(owned)
+            for m in owned:
+                self.mol_addrs[m] = heap.alloc_block(node)
+        # Deterministic initial state with zero net momentum.
+        self.molecules = []
+        for m in range(self.n_molecules):
+            self.molecules.append(Molecule(
+                x=det_uniform(0.0, 1.0, self.seed, m, 1),
+                y=det_uniform(0.0, 1.0, self.seed, m, 2),
+                vx=det_uniform(-0.02, 0.02, self.seed, m, 3),
+                vy=det_uniform(-0.02, 0.02, self.seed, m, 4),
+            ))
+        mean_vx = sum(mol.vx for mol in self.molecules) / self.n_molecules
+        mean_vy = sum(mol.vy for mol in self.molecules) / self.n_molecules
+        for mol in self.molecules:
+            mol.vx -= mean_vx
+            mol.vy -= mean_vy
+        self.initial_momentum = self._momentum()
+        self.final_momentum = self.initial_momentum
+        self.interactions = 0
+        #: freshly computed forces, committed at the phase barrier
+        self._pending_forces: List[Tuple[float, float]] = []
+
+    def _momentum(self) -> Tuple[float, float]:
+        return (sum(m.vx for m in self.molecules),
+                sum(m.vy for m in self.molecules))
+
+    # ------------------------------------------------------------------
+    # Physics (reads the barrier-consistent snapshot)
+    # ------------------------------------------------------------------
+
+    def _force_on(self, index: int) -> Tuple[float, float]:
+        """Soft 1/r^2 repulsion with cutoff, minimum-image wrap."""
+        me = self.molecules[index]
+        fx = fy = 0.0
+        for other_index, other in enumerate(self.molecules):
+            if other_index == index:
+                continue
+            dx = me.x - other.x
+            dy = me.y - other.y
+            dx -= round(dx)  # periodic box of size 1
+            dy -= round(dy)
+            r2 = dx * dx + dy * dy
+            if r2 > CUTOFF * CUTOFF or r2 == 0.0:
+                continue
+            strength = 1e-4 / (r2 + 1e-3)
+            fx += strength * dx
+            fy += strength * dy
+        return fx, fy
+
+    def _integrate(self, index: int, fx: float, fy: float) -> None:
+        mol = self.molecules[index]
+        mol.vx += fx * self.dt
+        mol.vy += fy * self.dt
+        mol.x = (mol.x + mol.vx * self.dt) % 1.0
+        mol.y = (mol.y + mol.vy * self.dt) % 1.0
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def thread(self, machine: "Machine", node_id: int) -> Iterator[Op]:
+        code = self._code
+        owned = self._owned[node_id]
+        forces: List[Tuple[int, float, float]] = []
+        for _step in range(self.steps):
+            # Force phase: read every other molecule once (cached across
+            # the inner loops of this step), compute pair interactions.
+            forces.clear()
+            for mine in owned:
+                # Visit the other molecules starting just after our own
+                # index, so the nodes fan out over different home nodes
+                # instead of stampeding molecule 0 together.
+                for k in range(1, self.n_molecules):
+                    other = (mine + k) % self.n_molecules
+                    yield ("read", self.mol_addrs[other])
+                    yield ("compute", PAIR_CYCLES, code)
+                    self.interactions += 1
+                fx, fy = self._force_on(mine)
+                forces.append((mine, fx, fy))
+            yield ("barrier",)
+            # Update phase: integrate and publish the owned molecules.
+            for mine, fx, fy in forces:
+                yield ("compute", INTEGRATE_CYCLES, code)
+                self._integrate(mine, fx, fy)
+                yield ("write", self.mol_addrs[mine])
+            yield ("barrier",)
+        if node_id == 0:
+            self.final_momentum = self._momentum()
+        yield ("barrier",)

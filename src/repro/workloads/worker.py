@@ -1,0 +1,99 @@
+"""WORKER: the synthetic worker-set benchmark (paper Section 5).
+
+WORKER builds a data structure whose memory blocks have an *exact* worker
+set size, then runs iterations of: all readers read their slots, barrier,
+each writer writes its blocks, barrier.  Every read misses (the previous
+write invalidated the copy) and every write sends exactly one
+invalidation per reader — a completely deterministic access pattern that
+provides a controlled experiment for comparing protocols.
+
+Layout: each node ``w`` owns ``blocks_per_writer`` blocks homed in its
+local memory; the readers of node ``w``'s blocks are the
+``worker_set_size`` nodes following ``w`` in node order.  The writer is
+*not* a reader, so a worker set of size ``s`` occupies exactly ``s``
+directory pointers and each write transmits exactly ``s``
+invalidations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Op, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+#: compute cycles between consecutive accesses, decoupling the requests
+#: enough that they do not all collide at the home node in lockstep
+THINK_CYCLES = 30
+
+
+class WorkerBenchmark(Workload):
+    """The WORKER stress test."""
+
+    name = "worker"
+
+    def __init__(self, worker_set_size: int, blocks_per_writer: int = 4,
+                 iterations: int = 4, cico: bool = False) -> None:
+        if worker_set_size < 1:
+            raise ConfigurationError("worker set size must be >= 1")
+        if blocks_per_writer < 1 or iterations < 1:
+            raise ConfigurationError("invalid WORKER configuration")
+        self.worker_set_size = worker_set_size
+        self.blocks_per_writer = blocks_per_writer
+        self.iterations = iterations
+        #: Check-In/Check-Out annotations (Section 2/7): readers check
+        #: their blocks back in before the writer's phase, so a limited
+        #: directory never overflows and writes find no copies to chase.
+        self.cico = cico
+        #: writer node -> list of block base addresses it owns
+        self.slots: Dict[int, List[int]] = {}
+        #: reader node -> list of addresses it reads each iteration
+        self.read_sets: Dict[int, List[int]] = {}
+
+    def setup(self, machine: "Machine") -> None:
+        n = machine.params.n_nodes
+        size = min(self.worker_set_size, max(n - 1, 1))
+        if size != self.worker_set_size and n > 1:
+            # Cap at n-1 distinct readers (the writer is excluded).
+            self.worker_set_size = size
+        self.slots = {}
+        self.read_sets = {node: [] for node in range(n)}
+        for writer in range(n):
+            addrs = [machine.heap.alloc_block(writer)
+                     for _ in range(self.blocks_per_writer)]
+            self.slots[writer] = addrs
+            for k in range(1, self.worker_set_size + 1):
+                reader = (writer + k) % n
+                self.read_sets[reader].extend(addrs)
+        self._code = machine.register_code("worker-loop", lines=1)
+
+    def thread(self, machine: "Machine", node_id: int) -> Iterator[Op]:
+        my_blocks = self.slots[node_id]
+        my_reads = self.read_sets[node_id]
+        # Rotate each reader's visiting order so the readers of a block
+        # do not stampede its home in lockstep.
+        if my_reads:
+            shift = (node_id * max(len(my_reads) // 3, 1)) % len(my_reads)
+            my_reads = my_reads[shift:] + my_reads[:shift]
+        code = self._code
+        think = THINK_CYCLES + (node_id * 5) % 13
+        # Initialization phase: each writer touches its own blocks.
+        for addr in my_blocks:
+            yield ("write", addr)
+            yield ("compute", think, code)
+        yield ("barrier",)
+        for _iteration in range(self.iterations):
+            for addr in my_reads:
+                yield ("read", addr)
+                yield ("compute", think, code)
+            if self.cico:
+                for addr in my_reads:
+                    yield ("checkin", addr)
+            yield ("barrier",)
+            for addr in my_blocks:
+                yield ("write", addr)
+                yield ("compute", think, code)
+            yield ("barrier",)

@@ -1,0 +1,141 @@
+"""Tests for the analysis helpers and experiment drivers (quick sizes)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    CLOCK_HZ,
+    fig2_worker_ratios,
+    relative_performance,
+    run_one,
+    table1_handler_latencies,
+    table2_breakdowns,
+)
+from repro.analysis.report import (
+    format_bar_chart,
+    format_histogram,
+    format_series_plot,
+    format_table,
+)
+from repro.analysis.workersets import (
+    decay_slope,
+    hardware_coverage,
+    histogram_summary,
+)
+from repro.workloads.worker import WorkerBenchmark
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [(1, 2.5), (10, 3.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_format_bar_chart(self):
+        text = format_bar_chart(["x", "yy"], [1.0, 2.0])
+        assert "#" in text
+        assert "yy" in text
+
+    def test_format_bar_chart_empty_value(self):
+        text = format_bar_chart(["x"], [0.0])
+        assert "0.00" in text
+
+    def test_format_histogram(self):
+        text = format_histogram({1: 100, 4: 10, 8: 1}, title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        assert len(lines) == 4
+
+    def test_format_histogram_empty(self):
+        assert "(empty)" in format_histogram({})
+
+    def test_format_series_plot(self):
+        text = format_series_plot(
+            {"one": [(1.0, 1.0), (2.0, 2.0)],
+             "two": [(1.0, 2.0), (2.0, 1.0)]},
+            title="P")
+        lines = text.splitlines()
+        assert lines[0] == "P"
+        assert "A = one" in text and "B = two" in text
+        assert "A" in "".join(lines[1:-2])
+
+    def test_format_series_plot_empty(self):
+        assert format_series_plot({}, title="T") == "T"
+
+    def test_format_series_plot_flat_series(self):
+        text = format_series_plot({"flat": [(0.0, 5.0), (10.0, 5.0)]})
+        assert "A = flat" in text
+
+
+class TestWorkerSetAnalysis:
+    def test_summary(self):
+        summary = histogram_summary({1: 90, 2: 5, 8: 5})
+        assert summary["blocks"] == 100
+        assert summary["max_size"] == 8
+        assert summary["small_fraction"] == pytest.approx(0.95)
+        assert summary["large_sets"] == 5
+
+    def test_summary_empty(self):
+        assert histogram_summary({})["blocks"] == 0
+
+    def test_decay_slope_negative_for_decaying(self):
+        hist = {1: 1000, 2: 300, 4: 60, 8: 10, 16: 2}
+        assert decay_slope(hist) < 0
+
+    def test_decay_slope_degenerate(self):
+        assert decay_slope({3: 10}) == 0.0
+
+    def test_hardware_coverage(self):
+        hist = {1: 50, 2: 30, 6: 20}
+        assert hardware_coverage(hist, 5) == pytest.approx(0.8)
+        assert hardware_coverage(hist, 64) == 1.0
+        assert hardware_coverage({}, 5) == 1.0
+
+
+class TestDrivers:
+    def test_table1_reproduces_medians(self):
+        rows = table1_handler_latencies(readers=(8,), iterations=1)
+        row = rows[0]
+        assert row.c_read == pytest.approx(480, abs=2)
+        assert row.asm_read == pytest.approx(193, abs=2)
+        assert row.c_write == pytest.approx(737, abs=2)
+        assert row.asm_write == pytest.approx(384, abs=2)
+        # Section 4.2: hand-tuning buys about a factor of two.
+        assert 1.6 <= row.c_read / row.asm_read <= 2.8
+
+    def test_table2_breakdowns_match_paper(self):
+        breakdowns = table2_breakdowns(iterations=1)
+        c_read = breakdowns[("read", "flexible")]
+        assert sum(c_read.values()) == 480
+        assert c_read["store pointers into extended directory"] == 235
+        asm_write = breakdowns[("write", "optimized")]
+        assert sum(asm_write.values()) == 384
+        assert asm_write["invalidation lookup and transmit"] == 251
+
+    def test_fig2_ratios_at_least_one(self):
+        curves = fig2_worker_ratios(sizes=(2, 8), iterations=1,
+                                    protocols=("DirnH5SNB", "DirnH1SNB,ACK"))
+        for protocol, points in curves.items():
+            assert len(points) == 2
+            for _size, ratio in points:
+                assert ratio >= 0.95
+
+    def test_fig2_more_pointers_never_much_worse(self):
+        curves = fig2_worker_ratios(sizes=(8,), iterations=2,
+                                    protocols=("DirnH1SNB,ACK", "DirnH5SNB"))
+        h1 = curves["DirnH1SNB,ACK"][0][1]
+        h5 = curves["DirnH5SNB"][0][1]
+        assert h5 <= h1
+
+    def test_relative_performance(self):
+        rel = relative_performance(
+            {"DirnHNBS-": 40.0, "DirnH5SNB": 30.0})
+        assert rel["DirnHNBS-"] == 1.0
+        assert rel["DirnH5SNB"] == pytest.approx(0.75)
+
+    def test_run_one_worker(self):
+        stats = run_one(WorkerBenchmark(worker_set_size=2, iterations=1),
+                        "DirnH5SNB", n_nodes=4, victim_cache=False)
+        assert stats.run_cycles > 0
+        assert CLOCK_HZ == 33_000_000

@@ -1,0 +1,78 @@
+"""Applications across machine sizes: every workload runs correctly on
+small, medium, and single-node machines, and speedups scale sanely."""
+
+import pytest
+
+from repro.analysis.experiments import APPLICATIONS
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.aq import ANALYTIC_RESULT, AdaptiveQuadrature
+from repro.workloads.evolve import Evolve
+from repro.workloads.mp3d import MP3D
+from repro.workloads.smgrid import StaticMultigrid
+from repro.workloads.tsp import TSP
+from repro.workloads.water import Water
+
+SMALL_FACTORIES = {
+    "tsp": lambda: TSP(n_cities=8, prefix_depth=2),
+    "aq": lambda: AdaptiveQuadrature(tolerance=0.2),
+    "smgrid": lambda: StaticMultigrid(n=16, levels=2, v_cycles=1),
+    "evolve": lambda: Evolve(dimensions=8, walks_per_node=2),
+    "mp3d": lambda: MP3D(n_particles=64, steps=2),
+    "water": lambda: Water(n_molecules=12, steps=2),
+}
+
+
+def run(factory, n_nodes, protocol="DirnH5SNB"):
+    machine = Machine(
+        MachineParams(n_nodes=n_nodes, victim_cache_enabled=True),
+        protocol=protocol)
+    workload = factory()
+    stats = machine.run(workload)
+    return workload, stats
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_FACTORIES))
+@pytest.mark.parametrize("n_nodes", [1, 4, 16])
+def test_every_app_runs_at_every_size(name, n_nodes):
+    _w, stats = run(SMALL_FACTORIES[name], n_nodes)
+    assert stats.run_cycles > 0
+    assert stats.n_nodes == n_nodes
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_FACTORIES))
+def test_single_node_speedup_near_one(name):
+    _w, stats = run(SMALL_FACTORIES[name], 1)
+    # One node, everything local: the run should be close to the
+    # sequential estimate (within the cold-miss overhead).
+    assert 0.5 <= stats.speedup <= 1.01
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_FACTORIES))
+def test_more_nodes_improve_speedup(name):
+    # EVOLVE and AQ scale their work with the node count (weak
+    # scaling), so compare speedup — valid for both scaling styles.
+    _w1, one = run(SMALL_FACTORIES[name], 1)
+    _w16, sixteen = run(SMALL_FACTORIES[name], 16)
+    assert sixteen.speedup > one.speedup
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_FACTORIES))
+def test_no_software_traps_on_full_map(name):
+    _w, stats = run(SMALL_FACTORIES[name], 16, protocol="DirnHNBS-")
+    assert stats.total_traps == 0
+
+
+def test_results_correct_at_small_scale():
+    w, _stats = run(SMALL_FACTORIES["tsp"], 4)
+    assert w.best_found == w.optimal
+    w, _stats = run(SMALL_FACTORIES["aq"], 4)
+    assert abs(w.result - ANALYTIC_RESULT) < 1.0
+    w, _stats = run(SMALL_FACTORIES["smgrid"], 4)
+    assert w.final_residual < w.initial_residual
+
+
+def test_default_factories_are_64_node_calibrated():
+    for name, factory in APPLICATIONS.items():
+        workload = factory()
+        assert workload.name == name

@@ -1,0 +1,108 @@
+"""Tests for CICO (Check-In/Check-Out) annotations (Sections 2 and 7)."""
+
+from repro.common.types import CacheState, DirState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.worker import WorkerBenchmark
+
+from tests.helpers import ScriptWorkload, check_coherence
+
+INV = CacheState.INVALID
+
+
+def machine(n=16, protocol="DirnH5SNB"):
+    return Machine(MachineParams(n_nodes=n), protocol=protocol)
+
+
+class TestCheckIn:
+    def test_clean_checkin_drops_pointer(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload(
+            {2: [("read", addr), ("checkin", addr), ("compute", 50)]},
+        ))
+        assert m.nodes[2].cache_ctrl.state_of(blk) is INV
+        entry = m.nodes[0].home.entries[blk]
+        assert entry.state is DirState.ABSENT
+
+    def test_dirty_checkin_writes_back(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload(
+            {2: [("write", addr), ("checkin", addr), ("compute", 50)]},
+        ))
+        assert m.nodes[2].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[0].home.entries[blk].state is DirState.ABSENT
+        assert m.nodes[2].stats.dirty_evictions == 1
+
+    def test_checkin_of_uncached_block_is_a_noop(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        stats = m.run(ScriptWorkload({2: [("checkin", addr)]}))
+        assert stats.total("dirty_evictions") == 0
+
+    def test_checked_in_pointer_frees_directory_slot(self):
+        """With disciplined check-ins, five pointers absorb any number
+        of sequential readers without ever trapping."""
+        m = machine(protocol="DirnH1SNB,LACK")
+        addr = m.heap.alloc_block(0)
+        scripts = {}
+        for i, node in enumerate(range(1, 10)):
+            scripts[node] = [("compute", 120 * i), ("read", addr),
+                             ("checkin", addr)]
+        m.run(ScriptWorkload(scripts))
+        assert m.nodes[0].stats.traps.get("read_overflow", 0) == 0
+
+
+class TestBroadcastFlagClearing:
+    def test_full_checkin_restores_exactness(self):
+        m = machine(protocol="Dir1H1SB,LACK")
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        scripts = {node: [("compute", 60 * node), ("read", addr),
+                          ("compute", 400), ("checkin", addr),
+                          ("barrier",)]
+                   for node in range(1, 5)}
+        scripts[7] = [("barrier",), ("write", addr)]
+        m.run(ScriptWorkload(scripts))
+        # The write found an exact directory: no broadcast, no trap.
+        assert m.nodes[0].stats.traps.get("write_extended", 0) == 0
+        assert m.nodes[0].stats.invalidations_sw == 0
+        assert check_coherence(m) == []
+
+    def test_partial_checkin_keeps_broadcast(self):
+        m = machine(protocol="Dir1H1SB,LACK")
+        addr = m.heap.alloc_block(0)
+        scripts = {node: [("compute", 60 * node), ("read", addr),
+                          ("barrier",)]
+                   for node in range(1, 5)}
+        # Only node 2 checks in; the others keep copies.
+        scripts[2] = [("compute", 120), ("read", addr),
+                      ("checkin", addr), ("barrier",)]
+        scripts[7] = [("barrier",), ("write", addr)]
+        m.run(ScriptWorkload(scripts))
+        assert m.nodes[0].stats.traps.get("write_extended", 0) == 1
+        assert check_coherence(m) == []
+
+
+class TestWorkerCico:
+    def test_annotations_eliminate_dir1sw_broadcasts(self):
+        plain = machine(protocol="Dir1H1SB,LACK")
+        s_plain = plain.run(WorkerBenchmark(worker_set_size=8,
+                                            iterations=2, cico=False))
+        annotated = machine(protocol="Dir1H1SB,LACK")
+        s_cico = annotated.run(WorkerBenchmark(worker_set_size=8,
+                                               iterations=2, cico=True))
+        assert s_plain.total("invalidations_sw") > 0
+        assert s_cico.total("invalidations_sw") == 0
+        assert s_cico.total_traps == 0
+        assert s_cico.run_cycles < s_plain.run_cycles
+
+    def test_annotations_preserve_coherence(self):
+        for protocol in ("Dir1H1SB,LACK", "DirnH5SNB", "DirnH0SNB,ACK"):
+            m = machine(protocol=protocol)
+            m.run(WorkerBenchmark(worker_set_size=6, iterations=2,
+                                  cico=True))
+            assert check_coherence(m) == []

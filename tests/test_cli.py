@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestInfo:
+    def test_lists_protocols_and_apps(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "DirnH5SNB" in out
+        assert "full map" in out
+        assert "water" in out
+
+
+class TestRun:
+    def test_run_small_app(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "aq",
+                            "--protocol", "DirnH2SNB", "--nodes", "16")
+        assert code == 0
+        assert "AQ on 16 nodes" in out
+        assert "speedup" in out
+
+    def test_run_options(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "aq", "--nodes", "16",
+                            "--no-victim-cache", "--perfect-ifetch",
+                            "--software", "optimized",
+                            "--invalidation-mode", "dynamic")
+        assert code == 0
+
+    def test_bad_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "doom"])
+
+
+class TestWorker:
+    def test_worker_table(self, capsys):
+        code, out = run_cli(capsys, "worker", "--size", "4",
+                            "--nodes", "16", "--iterations", "2",
+                            "--protocols", "DirnH5SNB", "DirnHNBS-")
+        assert code == 0
+        assert "WORKER" in out
+        assert "DirnH5SNB" in out
+        assert "vs full map" in out
+
+    def test_worker_is_deterministic(self, capsys):
+        _code, first = run_cli(capsys, "worker", "--size", "4",
+                               "--nodes", "16", "--iterations", "2",
+                               "--protocols", "DirnH5SNB")
+        _code, second = run_cli(capsys, "worker", "--size", "4",
+                                "--nodes", "16", "--iterations", "2",
+                                "--protocols", "DirnH5SNB")
+        assert first == second
+
+
+class TestSweepAndCost:
+    def test_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--app", "aq",
+                            "--nodes", "16", "--protocols",
+                            "DirnH2SNB", "DirnHNBS-")
+        assert code == 0
+        assert "AQ on 16 nodes" in out
+
+    def test_cost_table(self, capsys):
+        code, out = run_cli(capsys, "cost", "--nodes", "16")
+        assert code == 0
+        assert "Cost vs performance" in out
+        assert "Directory cost scaling" in out

@@ -1,0 +1,114 @@
+"""Property-based coherence and determinism tests.
+
+Adversarial random read/write traffic is thrown at every protocol in the
+spectrum; afterwards the machine must satisfy the single-writer /
+multiple-reader invariant, the directories must agree with the caches,
+and a repeated run must be cycle-identical.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import PAPER_SPECTRUM
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+
+from tests.helpers import VersionedWorkload, check_coherence
+
+ALL_PROTOCOLS = list(PAPER_SPECTRUM) + ["Dir1H1SB,LACK"]
+
+
+def run_random(protocol: str, seed: int, n_nodes: int = 4,
+               ops: int = 40, blocks: int = 6,
+               write_ratio: float = 0.4, **overrides):
+    params = MachineParams(n_nodes=n_nodes, **overrides)
+    machine = Machine(params, protocol=protocol)
+    stats = machine.run(
+        VersionedWorkload(ops_per_node=ops, blocks=blocks, seed=seed,
+                          write_ratio=write_ratio),
+        max_events=5_000_000,
+    )
+    return machine, stats
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+class TestCoherencePerProtocol:
+    def test_random_traffic_is_coherent(self, protocol):
+        machine, _stats = run_random(protocol, seed=1234)
+        assert check_coherence(machine) == []
+
+    def test_heavier_contention_is_coherent(self, protocol):
+        machine, _stats = run_random(protocol, seed=99, n_nodes=9,
+                                     ops=60, blocks=3, write_ratio=0.6)
+        assert check_coherence(machine) == []
+
+    def test_read_only_traffic_is_coherent(self, protocol):
+        machine, _stats = run_random(protocol, seed=5, n_nodes=9,
+                                     ops=40, blocks=4, write_ratio=0.0)
+        assert check_coherence(machine) == []
+
+    def test_runs_are_cycle_deterministic(self, protocol):
+        _m1, s1 = run_random(protocol, seed=7)
+        _m2, s2 = run_random(protocol, seed=7)
+        assert s1.run_cycles == s2.run_cycles
+        assert s1.total_traps == s2.total_traps
+        assert s1.messages_by_kind() == s2.messages_by_kind()
+
+    def test_victim_cache_preserves_coherence(self, protocol):
+        machine, _stats = run_random(protocol, seed=31, n_nodes=4,
+                                     ops=50, blocks=5,
+                                     victim_cache_enabled=True)
+        assert check_coherence(machine) == []
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31),
+       write_ratio=st.floats(min_value=0.0, max_value=1.0),
+       blocks=st.integers(min_value=1, max_value=8))
+def test_limitless_coherent_under_random_parameters(seed, write_ratio,
+                                                    blocks):
+    machine, _ = run_random("DirnH2SNB", seed=seed, blocks=blocks,
+                            write_ratio=write_ratio)
+    assert check_coherence(machine) == []
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_one_pointer_ack_coherent_under_random_seeds(seed):
+    machine, _ = run_random("DirnH1SNB,ACK", seed=seed, write_ratio=0.5)
+    assert check_coherence(machine) == []
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_software_only_coherent_under_random_seeds(seed):
+    machine, _ = run_random("DirnH0SNB,ACK", seed=seed, write_ratio=0.5)
+    assert check_coherence(machine) == []
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_protocols_agree_on_work_done(seed):
+    """Different protocols change timing, never the work: user cycle
+    totals and access counts must be identical across the spectrum."""
+    reference = None
+    for protocol in ("DirnHNBS-", "DirnH5SNB", "DirnH1SNB,LACK"):
+        _machine, stats = run_random(protocol, seed=seed)
+        signature = (stats.total("loads"), stats.total("stores"),
+                     stats.sequential_cycles)
+        if reference is None:
+            reference = signature
+        else:
+            assert signature == reference
+
+
+class TestBarrierSynchronisation:
+    @pytest.mark.parametrize("protocol", ["DirnH5SNB", "DirnH0SNB,ACK"])
+    def test_barriers_order_conflicting_phases(self, protocol):
+        machine = Machine(MachineParams(n_nodes=16), protocol=protocol)
+        stats = machine.run(
+            VersionedWorkload(ops_per_node=40, blocks=4, seed=11,
+                              write_ratio=0.5, barrier_every=10))
+        assert machine.barrier.barriers_completed == 4
+        assert check_coherence(machine) == []

@@ -1,0 +1,110 @@
+"""Tests for the directory cost analysis (the paper's cost axis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cost import (
+    CostPerformancePoint,
+    cost_performance_points,
+    directory_bits_per_block,
+    directory_overhead,
+    extension_dram_bytes,
+    full_map_scaling,
+    pareto_frontier,
+    pointer_width,
+)
+from repro.core.spec import ProtocolSpec
+from repro.machine.params import MachineParams
+
+
+class TestDirectoryBits:
+    def test_full_map_is_one_bit_per_node(self):
+        bits = directory_bits_per_block("DirnHNBS-", 64)
+        assert bits == 64 + 4
+
+    def test_software_only_is_one_bit(self):
+        assert directory_bits_per_block("DirnH0SNB,ACK", 64) == 1
+
+    def test_limited_uses_pointer_widths(self):
+        # 5 pointers x 6 bits + local bit + overhead at 64 nodes
+        assert directory_bits_per_block("DirnH5SNB", 64) == 5 * 6 + 1 + 4
+
+    def test_pointer_width(self):
+        assert pointer_width(2) == 1
+        assert pointer_width(64) == 6
+        assert pointer_width(65) == 7
+        assert pointer_width(1) == 1
+
+    @given(st.integers(min_value=2, max_value=1024))
+    def test_full_map_dominates_at_scale(self, n):
+        full = directory_bits_per_block("DirnHNBS-", n)
+        limited = directory_bits_per_block("DirnH5SNB", n)
+        if n >= 64:
+            assert limited < full
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=4, max_value=512))
+    def test_bits_monotonic_in_pointers(self, pointers, n):
+        a = directory_bits_per_block(ProtocolSpec(hw_pointers=pointers), n)
+        b = directory_bits_per_block(
+            ProtocolSpec(hw_pointers=pointers + 1), n)
+        assert b > a
+
+    def test_overhead_fraction(self):
+        params = MachineParams(n_nodes=64)
+        overhead = directory_overhead("DirnH5SNB", params)
+        assert overhead == pytest.approx(35 / 128)
+
+    def test_scaling_table_crossover(self):
+        rows = full_map_scaling((16, 64, 256))
+        by_nodes = {n: (full, limited) for n, full, limited in rows}
+        # Full map is cheaper on tiny machines, limited wins at scale —
+        # the reason software extension matters for large systems.
+        assert by_nodes[16][0] < by_nodes[16][1]
+        assert by_nodes[256][0] > by_nodes[256][1]
+
+
+class TestExtensionDram:
+    def test_zero_when_nothing_extended(self):
+        assert extension_dram_bytes(0, 0, 64) == 0
+
+    def test_grows_with_chunks(self):
+        small = extension_dram_bytes(1, 0, 64)
+        large = extension_dram_bytes(10, 0, 64)
+        assert large == 10 * small
+
+
+class TestParetoAnalysis:
+    def test_points_carry_costs(self):
+        params = MachineParams(n_nodes=64)
+        points = cost_performance_points(
+            {"DirnH5SNB": 40.0, "DirnHNBS-": 45.0}, params)
+        by_protocol = {p.protocol: p for p in points}
+        assert by_protocol["DirnH5SNB"].bits_per_block == 35
+        assert by_protocol["DirnHNBS-"].speedup == 45.0
+
+    def test_dominated_point_excluded(self):
+        points = [
+            CostPerformancePoint("cheap", 10, 0.1, 20.0),
+            CostPerformancePoint("dominated", 20, 0.2, 15.0),
+            CostPerformancePoint("fast", 30, 0.3, 40.0),
+        ]
+        frontier = {p.protocol for p in pareto_frontier(points)}
+        assert frontier == {"cheap", "fast"}
+
+    def test_efficiency(self):
+        point = CostPerformancePoint("x", 10, 0.1, 20.0)
+        assert point.efficiency == pytest.approx(200.0)
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=100),
+                              st.floats(min_value=0.1, max_value=100.0)),
+                    min_size=1, max_size=20))
+    def test_frontier_is_undominated(self, raw):
+        points = [CostPerformancePoint(str(i), bits, bits / 128.0, speed)
+                  for i, (bits, speed) in enumerate(raw)]
+        frontier = pareto_frontier(points)
+        for f in frontier:
+            for other in points:
+                assert not (other.bits_per_block < f.bits_per_block
+                            and other.speedup > f.speedup)

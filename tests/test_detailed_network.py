@@ -1,0 +1,112 @@
+"""Tests for the optional link-level network model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.network.detailed import DetailedFabric
+from repro.network.fabric import Fabric, Message
+from repro.network.topology import Mesh
+from repro.sim.engine import Simulator
+
+from tests.helpers import VersionedWorkload, check_coherence
+
+
+def fabrics(n=16):
+    sim = Simulator()
+    mesh = Mesh(n)
+    detailed = DetailedFabric(sim, mesh)
+    inbox = {i: [] for i in range(n)}
+    for i in range(n):
+        detailed.attach(i, lambda m, i=i: inbox[i].append(m))
+    return sim, detailed, inbox
+
+
+class TestDetailedFabric:
+    def test_uncontended_latency_close_to_simple(self):
+        sim_a = Simulator()
+        simple = Fabric(sim_a, Mesh(16))
+        simple.attach(3, lambda m: None)
+        d_simple = simple.send(Message(src=0, dst=3, kind="x",
+                                       size_flits=4))
+
+        sim_b, detailed, _ = fabrics()
+        d_detailed = detailed.send(Message(src=0, dst=3, kind="x",
+                                           size_flits=4))
+        assert abs(d_detailed - d_simple) <= 4
+
+    def test_shared_link_serialises(self):
+        _sim, detailed, _ = fabrics()
+        # Both messages traverse link (1 -> 2) under X-then-Y routing.
+        d1 = detailed.send(Message(src=0, dst=3, kind="a", size_flits=6))
+        d2 = detailed.send(Message(src=1, dst=3, kind="b", size_flits=6))
+        assert detailed.link_wait_cycles > 0
+        assert d2 > d1
+
+    def test_disjoint_routes_do_not_interact(self):
+        _sim, detailed, _ = fabrics()
+        detailed.send(Message(src=0, dst=1, kind="a", size_flits=6))
+        before = detailed.link_wait_cycles
+        detailed.send(Message(src=14, dst=15, kind="b", size_flits=6))
+        assert detailed.link_wait_cycles == before
+
+    def test_pair_fifo_preserved(self):
+        sim, detailed, inbox = fabrics()
+        detailed.send(Message(src=0, dst=5, kind="slow", size_flits=2),
+                      extra_delay=50)
+        detailed.send(Message(src=0, dst=5, kind="fast", size_flits=2))
+        sim.run()
+        assert [m.kind for m in inbox[5]] == ["slow", "fast"]
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15),
+                  st.integers(min_value=0, max_value=15),
+                  st.integers(min_value=1, max_value=10)),
+        min_size=1, max_size=30))
+    def test_all_messages_delivered(self, sends):
+        sim, detailed, inbox = fabrics()
+        for i, (src, dst, size) in enumerate(sends):
+            detailed.send(Message(src=src, dst=dst, kind=str(i),
+                                  size_flits=size))
+        sim.run()
+        assert sum(len(v) for v in inbox.values()) == len(sends)
+
+
+class TestMachineIntegration:
+    def test_unknown_model_rejected(self):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            Machine(MachineParams(n_nodes=4), protocol="DirnH2SNB",
+                    network_model="carrier-pigeon")
+
+    @pytest.mark.parametrize("protocol",
+                             ["DirnH5SNB", "DirnH0SNB,ACK", "DirnHNBS-"])
+    def test_coherent_under_link_contention(self, protocol):
+        machine = Machine(MachineParams(n_nodes=9), protocol=protocol,
+                          network_model="links")
+        machine.run(VersionedWorkload(ops_per_node=40, blocks=5, seed=3,
+                                      write_ratio=0.4))
+        assert check_coherence(machine) == []
+
+    def test_link_model_is_deterministic(self):
+        def run():
+            machine = Machine(MachineParams(n_nodes=9),
+                              protocol="DirnH2SNB", network_model="links")
+            stats = machine.run(VersionedWorkload(
+                ops_per_node=30, blocks=4, seed=9, write_ratio=0.4))
+            return stats.run_cycles
+
+        assert run() == run()
+
+    def test_link_contention_never_speeds_things_up(self):
+        def run(model):
+            machine = Machine(MachineParams(n_nodes=16),
+                              protocol="DirnH5SNB", network_model=model)
+            from repro.workloads.worker import WorkerBenchmark
+            stats = machine.run(WorkerBenchmark(worker_set_size=8,
+                                                iterations=2))
+            return stats.run_cycles
+
+        assert run("links") >= run("queues") * 0.95

@@ -1,0 +1,152 @@
+"""Tests for hardware directory entries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolStateError
+from repro.common.types import DirState
+from repro.core.directory import DirectoryEntry
+
+
+def entry(capacity=5, home=0, local_bit=True, full_map=False):
+    return DirectoryEntry(capacity=capacity, block=42, home=home,
+                          use_local_bit=local_bit, full_map=full_map)
+
+
+class TestPointers:
+    def test_record_until_capacity(self):
+        e = entry(capacity=2)
+        e.record(1)
+        e.record(2)
+        assert e.sharer_set() == {1, 2}
+        with pytest.raises(ProtocolStateError):
+            e.record(3)
+
+    def test_record_idempotent(self):
+        e = entry(capacity=1)
+        e.record(3)
+        e.record(3)
+        assert e.pointers == [3]
+
+    def test_local_bit_does_not_consume_a_pointer(self):
+        e = entry(capacity=1, home=7)
+        e.record(7)
+        assert e.local_bit
+        assert e.pointers == []
+        e.record(3)  # the real pointer is still free
+        assert e.sharer_set() == {3, 7}
+
+    def test_local_bit_disabled_consumes_pointer(self):
+        e = entry(capacity=1, home=7, local_bit=False)
+        e.record(7)
+        assert e.pointers == [7]
+        with pytest.raises(ProtocolStateError):
+            e.record(3)
+
+    def test_full_map_never_overflows(self):
+        e = entry(capacity=0, full_map=True, local_bit=False)
+        for node in range(100):
+            assert e.can_record(node)
+            e.record(node)
+        assert len(e.sharer_set()) == 100
+
+    def test_can_record(self):
+        e = entry(capacity=1)
+        assert e.can_record(3)
+        e.record(3)
+        assert e.can_record(3)  # already present
+        assert e.can_record(0)  # the home's local bit
+        assert not e.can_record(4)
+
+    def test_take_all_pointers_leaves_local_bit(self):
+        e = entry(capacity=3)
+        e.record(0)  # local bit
+        e.record(1)
+        e.record(2)
+        taken = e.take_all_pointers()
+        assert sorted(taken) == [1, 2]
+        assert e.local_bit
+        assert e.pointers == []
+
+    def test_drop(self):
+        e = entry(capacity=2)
+        e.record(0)
+        e.record(1)
+        e.drop(1)
+        e.drop(0)
+        assert e.sharer_set() == set()
+
+
+class TestTransitions:
+    def test_owner_requires_read_write(self):
+        e = entry()
+        with pytest.raises(ProtocolStateError):
+            _ = e.owner
+
+    def test_reset_to_exclusive_remote(self):
+        e = entry()
+        e.record(1)
+        e.record(2)
+        e.state = DirState.READ_ONLY
+        e.extended = True
+        e.reset_to_exclusive(3)
+        assert e.state is DirState.READ_WRITE
+        assert e.owner == 3
+        assert not e.extended
+        assert not e.local_bit
+
+    def test_reset_to_exclusive_home_uses_local_bit(self):
+        e = entry(home=0)
+        e.reset_to_exclusive(0)
+        assert e.local_bit
+        assert e.pointers == []
+        assert e.owner == 0
+
+    def test_reset_to_absent(self):
+        e = entry()
+        e.record(1)
+        e.state = DirState.READ_WRITE
+        e.sw_write = True
+        e.reset_to_absent()
+        assert e.state is DirState.ABSENT
+        assert e.sharer_set() == set()
+        assert not e.sw_write
+
+    def test_idle(self):
+        e = entry()
+        assert e.idle
+        e.state = DirState.WRITE_TRANSACTION
+        assert not e.idle
+        e.state = DirState.READ_ONLY
+        e.sw_pending = True
+        assert not e.idle
+
+    def test_owner_multiple_pointers_is_an_error(self):
+        e = entry(local_bit=False)
+        e.record(1)
+        e.record(2)
+        e.state = DirState.READ_WRITE
+        with pytest.raises(ProtocolStateError):
+            _ = e.owner
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=30),
+           st.integers(min_value=1, max_value=5))
+    def test_sharers_bounded_by_capacity(self, nodes, capacity):
+        e = entry(capacity=capacity, home=0)
+        for node in nodes:
+            if e.can_record(node):
+                e.record(node)
+        # capacity pointers plus at most the local bit
+        assert len(e.sharer_set()) <= capacity + 1
+        assert len(e.pointers) <= capacity
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=30))
+    def test_record_can_record_consistent(self, nodes):
+        e = entry(capacity=3, home=0)
+        for node in nodes:
+            if e.can_record(node):
+                e.record(node)  # must never raise
+                assert e.has_pointer(node)

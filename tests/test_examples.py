@@ -1,0 +1,75 @@
+"""Smoke tests: every shipped example runs to completion and prints the
+output its docstring promises."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / f"{name}.py"), *argv]
+    buffer = io.StringIO()
+    try:
+        with redirect_stdout(buffer):
+            spec.loader.exec_module(module)
+            module.main()
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart")
+    assert "DirnH5SNB" in out
+    assert "full-map" in out or "DirnHNBS-" in out
+
+
+def test_protocol_spectrum_small():
+    out = run_example("protocol_spectrum", ["aq", "16"])
+    assert "AQ on 16 nodes" in out
+    assert "Directory bits/block" in out
+
+
+def test_worker_sets():
+    out = run_example("worker_sets")
+    assert "Worker-set sizes" in out
+    assert "Directory coverage" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload")
+    assert "RingPipeline" in out
+
+
+def test_locks_and_migration():
+    out = run_example("locks_and_migration")
+    assert "Lock acquisitions" in out
+    assert "faster" in out
+
+
+@pytest.mark.slow
+def test_thrashing_tsp():
+    out = run_example("thrashing_tsp")
+    assert "Figure 3 reproduction" in out
+
+
+@pytest.mark.slow
+def test_annotated_protocols():
+    out = run_example("annotated_protocols")
+    assert "EVOLVE on 64 nodes" in out
+    assert "closing" in out
+
+
+def test_design_space():
+    out = run_example("design_space")
+    assert "Analytic model vs simulation" in out

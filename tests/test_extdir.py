@@ -1,0 +1,102 @@
+"""Tests for the software-extended directory structures."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.software.extdir import (
+    CHUNK_POINTERS,
+    SMALL_SET_THRESHOLD,
+    ExtendedDirectory,
+    ExtensionRecord,
+    SoftwareDirectory,
+)
+
+
+class TestExtensionRecord:
+    def test_small_set_detection(self):
+        rec = ExtensionRecord(block=1)
+        rec.sharers.update(range(SMALL_SET_THRESHOLD))
+        assert rec.is_small
+        rec.sharers.add(99)
+        assert not rec.is_small
+
+    def test_small_records_use_no_chunks(self):
+        rec = ExtensionRecord(block=1, sharers={1, 2, 3})
+        assert rec.chunks == 0
+
+    def test_chunk_count(self):
+        rec = ExtensionRecord(block=1, sharers=set(range(CHUNK_POINTERS + 1)))
+        assert rec.chunks == 2
+        rec = ExtensionRecord(block=1, sharers=set(range(CHUNK_POINTERS)))
+        assert rec.chunks == 1
+
+
+class TestExtendedDirectory:
+    def test_get_or_create_is_idempotent(self):
+        ext = ExtendedDirectory()
+        a = ext.get_or_create(5)
+        b = ext.get_or_create(5)
+        assert a is b
+        assert ext.allocations == 1
+
+    def test_lookup_absent(self):
+        ext = ExtendedDirectory()
+        assert ext.lookup(9) is None
+        assert 9 not in ext
+
+    def test_free(self):
+        ext = ExtendedDirectory()
+        ext.get_or_create(5)
+        freed = ext.free(5)
+        assert freed is not None and freed.block == 5
+        assert ext.frees == 1
+        assert ext.free(5) is None
+
+    def test_peak_tracking(self):
+        ext = ExtendedDirectory()
+        for block in range(10):
+            ext.get_or_create(block)
+        for block in range(10):
+            ext.free(block)
+        assert ext.peak_records == 10
+        assert len(ext) == 0
+
+    def test_live_chunks(self):
+        ext = ExtendedDirectory()
+        rec = ext.get_or_create(1)
+        rec.sharers.update(range(20))
+        assert ext.live_chunks == -(-20 // CHUNK_POINTERS)
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=30)),
+                    max_size=200))
+    def test_alloc_free_accounting(self, ops):
+        ext = ExtendedDirectory()
+        live = set()
+        for create, block in ops:
+            if create:
+                ext.get_or_create(block)
+                live.add(block)
+            else:
+                ext.free(block)
+                live.discard(block)
+            assert set(ext.blocks()) == live
+        assert ext.allocations - ext.frees == len(live)
+
+
+class TestSoftwareDirectory:
+    def test_entries_track_full_state(self):
+        swdir = SoftwareDirectory()
+        entry = swdir.get_or_create(3)
+        entry.sharers.add(1)
+        entry.remote_bit = True
+        again = swdir.lookup(3)
+        assert again is entry
+        assert again.remote_bit
+
+    def test_len_and_contains(self):
+        swdir = SoftwareDirectory()
+        swdir.get_or_create(1)
+        swdir.get_or_create(2)
+        assert len(swdir) == 2
+        assert 1 in swdir and 3 not in swdir

@@ -1,0 +1,121 @@
+"""Tests for migratory-data detection (Section 7's dynamic detection)."""
+
+from repro.common.types import CacheState, DirState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+
+from tests.helpers import ScriptWorkload, check_coherence
+
+RW = CacheState.READ_WRITE
+RO = CacheState.READ_ONLY
+
+
+def machine(detect=True, n=16, protocol="DirnH5SNB"):
+    return Machine(MachineParams(n_nodes=n), protocol=protocol,
+                   migratory_detection=detect)
+
+
+def token_scripts(addr, nodes, rounds=2):
+    """Each node in turn reads then writes the shared block."""
+    scripts = {}
+    for node in nodes:
+        ops = []
+        for _round in range(rounds):
+            for turn in nodes:
+                if turn == node:
+                    ops.append(("read", addr))
+                    ops.append(("compute", 20))
+                    ops.append(("write", addr))
+                ops.append(("barrier",))
+        scripts[node] = ops
+    return scripts
+
+
+class TestDetection:
+    def test_block_marked_migratory_after_pattern(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3])))
+        entry = m.nodes[0].home.entries[addr >> m.params.block_shift]
+        assert entry.migratory
+
+    def test_detection_off_by_default(self):
+        m = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3])))
+        entry = m.nodes[0].home.entries[addr >> m.params.block_shift]
+        assert not entry.migratory
+
+    def test_read_shared_block_not_marked(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        scripts = {node: [("compute", 30 * node), ("read", addr)]
+                   for node in range(1, 8)}
+        m.run(ScriptWorkload(scripts))
+        entry = m.nodes[0].home.entries[addr >> m.params.block_shift]
+        assert not entry.migratory
+        assert entry.migratory_evidence == 0
+
+    def test_racing_readers_revert_migratory(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        scripts = token_scripts(addr, [1, 2, 3])
+        # After the migration rounds, several nodes read *concurrently*:
+        # their requests race the migratory exclusive handoffs, which is
+        # the observable signal that the block is read-shared after all.
+        for node in (4, 5, 6, 7):
+            scripts[node] = ([("barrier",)] * 6
+                             + [("read", addr), ("read", addr)])
+        m.run(ScriptWorkload(scripts))
+        entry = m.nodes[0].home.entries[addr >> m.params.block_shift]
+        assert not entry.migratory
+
+
+class TestBehaviour:
+    def test_migratory_read_granted_exclusively(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        scripts = token_scripts(addr, [1, 2, 3], rounds=2)
+        # One extra read at the very end by node 4.
+        scripts[4] = [("barrier",)] * 12 + [("read", addr)]
+        m.run(ScriptWorkload(scripts))
+        # The read was served with an exclusive (writable) copy.
+        assert m.nodes[4].cache_ctrl.state_of(blk) is RW
+        entry = m.nodes[0].home.entries[blk]
+        assert entry.state is DirState.READ_WRITE
+        assert entry.owner == 4
+
+    def test_fewer_transactions_with_detection(self):
+        def requests(detect):
+            m = machine(detect=detect)
+            addr = m.heap.alloc_block(0)
+            m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3, 4],
+                                               rounds=3)))
+            return sum(ns.messages_sent["rreq"] + ns.messages_sent["wreq"]
+                       for ns in (node.stats for node in m.nodes))
+
+        assert requests(True) < requests(False)
+
+    def test_faster_with_detection(self):
+        def cycles(detect):
+            m = machine(detect=detect)
+            addr = m.heap.alloc_block(0)
+            m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3, 4],
+                                               rounds=3)))
+            return m.sim.now
+
+        assert cycles(True) < cycles(False)
+
+    def test_coherent_with_detection(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3, 4], rounds=3)))
+        assert check_coherence(m) == []
+
+    def test_works_across_protocols(self):
+        for protocol in ("DirnH1SNB,LACK", "DirnH2SNB", "DirnHNBS-"):
+            m = machine(protocol=protocol)
+            addr = m.heap.alloc_block(0)
+            m.run(ScriptWorkload(token_scripts(addr, [1, 2, 3])))
+            assert check_coherence(m) == []

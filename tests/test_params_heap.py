@@ -1,0 +1,141 @@
+"""Tests for machine parameters and the shared heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.machine.heap import SharedHeap
+from repro.machine.params import WORD_BYTES, MachineParams
+
+
+class TestParams:
+    def test_defaults_describe_alewife(self):
+        p = MachineParams()
+        assert p.cache_bytes == 64 * 1024
+        assert p.block_bytes == 16
+        assert p.block_words == 4
+        assert p.cache_sets == 4096
+        assert p.local_mem_words * WORD_BYTES == 4 * 1024 * 1024
+
+    def test_mesh_side(self):
+        assert MachineParams(n_nodes=64).mesh_side == 8
+        assert MachineParams(n_nodes=1).mesh_side == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(n_nodes=10)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(n_nodes=0)
+
+    def test_bad_cache_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(cache_bytes=60 * 1024, block_bytes=16)
+        with pytest.raises(ConfigurationError):
+            MachineParams(block_bytes=10)
+
+    def test_code_region_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(code_region_blocks=1 << 30)
+
+    def test_home_mapping(self):
+        p = MachineParams(n_nodes=4)
+        assert p.home_of_addr(0) == 0
+        assert p.home_of_addr(p.local_mem_words) == 1
+        assert p.home_of_block(p.local_mem_blocks * 3) == 3
+        assert p.node_base_addr(2) == 2 * p.local_mem_words
+
+    def test_cache_set_of_block(self):
+        p = MachineParams()
+        assert p.cache_set_of_block(0) == 0
+        assert p.cache_set_of_block(p.cache_sets + 5) == 5
+
+    def test_with_updates(self):
+        p = MachineParams().with_updates(n_nodes=4, perfect_ifetch=True)
+        assert p.n_nodes == 4 and p.perfect_ifetch
+
+    @given(st.integers(min_value=0, max_value=2 ** 24))
+    def test_home_and_block_consistent(self, addr):
+        p = MachineParams(n_nodes=16)
+        block = addr >> p.block_shift
+        assert p.home_of_addr(addr) == p.home_of_block(block)
+
+
+class TestHeap:
+    def make(self, n_nodes=4):
+        params = MachineParams(n_nodes=n_nodes)
+        return params, SharedHeap(params, reserved_blocks=512)
+
+    def test_alloc_is_block_aligned(self):
+        params, heap = self.make()
+        addr = heap.alloc(0, 3)
+        assert addr % params.block_words == 0
+
+    def test_alloc_stays_in_segment(self):
+        params, heap = self.make()
+        addr = heap.alloc(2, 10)
+        assert params.home_of_addr(addr) == 2
+        assert params.home_of_addr(addr + 9) == 2
+
+    def test_allocations_do_not_overlap(self):
+        params, heap = self.make()
+        a = heap.alloc(1, 7)
+        b = heap.alloc(1, 7)
+        assert b >= a + 7
+
+    def test_colour_lands_on_requested_set(self):
+        params, heap = self.make()
+        addr = heap.alloc(0, 4, color=123)
+        block = addr >> params.block_shift
+        assert params.cache_set_of_block(block) == 123
+
+    def test_colour_out_of_range(self):
+        _params, heap = self.make()
+        with pytest.raises(AllocationError):
+            heap.alloc(0, 4, color=1 << 20)
+
+    def test_bad_node(self):
+        _params, heap = self.make()
+        with pytest.raises(AllocationError):
+            heap.alloc(99, 4)
+
+    def test_bad_size(self):
+        _params, heap = self.make()
+        with pytest.raises(AllocationError):
+            heap.alloc(0, 0)
+
+    def test_exhaustion(self):
+        params, heap = self.make()
+        with pytest.raises(AllocationError):
+            heap.alloc(0, params.local_mem_words)
+
+    def test_origins_staggered_across_nodes(self):
+        params = MachineParams(n_nodes=64)
+        heap = SharedHeap(params, reserved_blocks=512)
+        sets = set()
+        for node in range(64):
+            addr = heap.alloc(node, 4)
+            sets.add(params.cache_set_of_block(addr >> params.block_shift))
+        # "The same" allocation on every node must not alias to one set.
+        assert len(sets) > 32
+
+    def test_words_used(self):
+        _params, heap = self.make()
+        heap.alloc(0, 4)
+        heap.alloc(0, 4)
+        assert heap.words_used(0) == 8
+        assert heap.words_used(1) == 0
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=1, max_value=64)),
+                    min_size=1, max_size=100))
+    def test_no_overlaps_property(self, allocations):
+        params, heap = self.make()
+        spans = []
+        for node, words in allocations:
+            addr = heap.alloc(node, words)
+            for start, end in spans:
+                assert addr >= end or addr + words <= start
+            spans.append((addr, addr + words))

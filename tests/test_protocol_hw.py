@@ -1,0 +1,261 @@
+"""Scripted protocol scenarios: the hardware directory fast paths,
+overflow traps, fetches, evictions and retries."""
+
+from repro.common.types import CacheState, DirState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+
+from tests.helpers import ScriptWorkload, check_coherence
+
+RO = CacheState.READ_ONLY
+RW = CacheState.READ_WRITE
+INV = CacheState.INVALID
+
+
+def machine(n=16, protocol="DirnH5SNB", **overrides):
+    return Machine(MachineParams(n_nodes=n, **overrides), protocol=protocol)
+
+
+def block_of(m, addr):
+    return addr >> m.params.block_shift
+
+
+class TestBasicSharing:
+    def test_remote_read_fills_read_only(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({3: [("read", addr)]}))
+        assert m.nodes[3].cache_ctrl.state_of(block_of(m, addr)) is RO
+        entry = m.nodes[0].home.entries[block_of(m, addr)]
+        assert entry.state is DirState.READ_ONLY
+        assert 3 in entry.sharer_set()
+
+    def test_local_read_uses_local_bit(self):
+        m = machine()
+        addr = m.heap.alloc_block(2)
+        m.run(ScriptWorkload({2: [("read", addr)]}))
+        entry = m.nodes[2].home.entries[block_of(m, addr)]
+        assert entry.local_bit
+        assert entry.pointers == []
+
+    def test_write_fills_read_write(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({5: [("write", addr)]}))
+        assert m.nodes[5].cache_ctrl.state_of(block_of(m, addr)) is RW
+        entry = m.nodes[0].home.entries[block_of(m, addr)]
+        assert entry.state is DirState.READ_WRITE
+        assert entry.owner == 5
+
+    def test_write_invalidates_readers(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("read", addr), ("barrier",)],
+             2: [("read", addr), ("barrier",)],
+             3: [("barrier",), ("write", addr)]},
+        ))
+        blk = block_of(m, addr)
+        assert m.nodes[1].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[2].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[3].cache_ctrl.state_of(blk) is RW
+        assert m.nodes[0].stats.invalidations_hw == 2
+
+    def test_upgrade_keeps_copy_until_grant(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({4: [("read", addr), ("write", addr)]}))
+        assert m.nodes[4].cache_ctrl.state_of(block_of(m, addr)) is RW
+
+    def test_read_after_remote_write_downgrades_owner(self):
+        m = machine(protocol="DirnH2SNB")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("write", addr), ("barrier",)],
+             2: [("barrier",), ("read", addr)]},
+        ))
+        blk = block_of(m, addr)
+        assert m.nodes[1].cache_ctrl.state_of(blk) is RO  # FETCH_RD
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RO
+        entry = m.nodes[0].home.entries[blk]
+        assert entry.state is DirState.READ_ONLY
+        assert entry.sharer_set() == {1, 2}
+
+    def test_one_pointer_read_of_dirty_invalidates_owner(self):
+        m = machine(protocol="DirnH1SNB,LACK")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("write", addr), ("barrier",)],
+             2: [("barrier",), ("read", addr)]},
+        ))
+        blk = block_of(m, addr)
+        # Capacity 1 cannot track both; the owner is invalidated.
+        assert m.nodes[1].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RO
+
+    def test_write_after_remote_write_moves_ownership(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("write", addr), ("barrier",)],
+             2: [("barrier",), ("write", addr)]},
+        ))
+        blk = block_of(m, addr)
+        assert m.nodes[1].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RW
+        assert m.nodes[0].home.entries[blk].owner == 2
+
+
+class TestOverflow:
+    def readers(self, count):
+        scripts = {node: [("read", None)] for node in range(1, count + 1)}
+        return scripts
+
+    def run_readers(self, m, addr, count, stagger=True):
+        scripts = {}
+        for i, node in enumerate(range(1, count + 1)):
+            ops = [("compute", 40 * i)] if stagger else []
+            ops.append(("read", addr))
+            scripts[node] = ops
+        m.run(ScriptWorkload(scripts))
+
+    def test_full_map_never_traps(self):
+        m = machine(protocol="DirnHNBS-")
+        addr = m.heap.alloc_block(0)
+        self.run_readers(m, addr, 15)
+        stats = [ns for ns in (n.stats for n in m.nodes)]
+        assert sum(sum(ns.traps.values()) for ns in stats) == 0
+        entry = m.nodes[0].home.entries[block_of(m, addr)]
+        assert len(entry.sharer_set()) == 15
+
+    def test_h5_traps_on_sixth_reader(self):
+        m = machine(protocol="DirnH5SNB")
+        addr = m.heap.alloc_block(0)
+        self.run_readers(m, addr, 6)
+        assert m.nodes[0].stats.traps["read_overflow"] == 1
+        entry = m.nodes[0].home.entries[block_of(m, addr)]
+        assert entry.extended
+        ext = m.nodes[0].interface.extdir.lookup(block_of(m, addr))
+        assert ext is not None and len(ext.sharers) == 5
+
+    def test_h5_five_readers_stay_in_hardware(self):
+        m = machine(protocol="DirnH5SNB")
+        addr = m.heap.alloc_block(0)
+        self.run_readers(m, addr, 5)
+        assert m.nodes[0].stats.traps == {}
+
+    def test_trap_count_follows_pointer_refills(self):
+        # After the first overflow empties the pointers, the hardware
+        # absorbs four more readers before trapping again.
+        m = machine(protocol="DirnH5SNB")
+        addr = m.heap.alloc_block(0)
+        self.run_readers(m, addr, 11)
+        assert m.nodes[0].stats.traps["read_overflow"] == 2
+
+    def test_all_readers_get_copies_despite_overflow(self):
+        m = machine(protocol="DirnH2SNB")
+        addr = m.heap.alloc_block(0)
+        self.run_readers(m, addr, 12)
+        blk = block_of(m, addr)
+        for node in range(1, 13):
+            assert m.nodes[node].cache_ctrl.state_of(blk) is RO
+
+    def test_write_to_extended_block_invalidates_everyone(self):
+        m = machine(protocol="DirnH2SNB")
+        addr = m.heap.alloc_block(0)
+        scripts = {}
+        for i, node in enumerate(range(1, 9)):
+            scripts[node] = [("compute", 40 * i), ("read", addr),
+                             ("barrier",)]
+        scripts[9] = [("barrier",), ("write", addr)]
+        for node in list(scripts):
+            if node != 9:
+                pass
+        m.run(ScriptWorkload(scripts, barriers=0))
+        blk = block_of(m, addr)
+        for node in range(1, 9):
+            assert m.nodes[node].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+        assert m.nodes[0].stats.traps["write_extended"] == 1
+        assert m.nodes[0].stats.invalidations_sw == 8
+        # The extension record is freed by the write handler.
+        assert m.nodes[0].interface.extdir.lookup(blk) is None
+
+    def test_no_local_bit_ablation_consumes_pointer(self):
+        from repro.core.spec import ProtocolSpec
+        spec = ProtocolSpec.parse("DirnH2SNB").with_updates(local_bit=False)
+        m = Machine(MachineParams(n_nodes=4), protocol=spec)
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {0: [("read", addr)],
+             1: [("compute", 50), ("read", addr)],
+             2: [("compute", 100), ("read", addr)]},
+        ))
+        # home + 2 remote readers > 2 pointers -> one overflow trap
+        assert m.nodes[0].stats.traps["read_overflow"] == 1
+
+
+class TestEvictionsAndRaces:
+    def test_dirty_eviction_writes_back(self):
+        m = machine(n=4, protocol="DirnH2SNB")
+        addr_a = m.heap.alloc_block(0)
+        # A second block that maps to the same cache set as addr_a:
+        color = m.params.cache_set_of_block(block_of(m, addr_a))
+        addr_b = m.heap.alloc_block(1, color=color)
+        m.run(ScriptWorkload({2: [("write", addr_a), ("read", addr_b)]}))
+        blk_a = block_of(m, addr_a)
+        assert m.nodes[2].cache_ctrl.state_of(blk_a) is INV
+        assert m.nodes[2].stats.dirty_evictions == 1
+        assert m.nodes[0].home.entries[blk_a].state is DirState.ABSENT
+
+    def test_reread_after_eviction(self):
+        m = machine(n=4, protocol="DirnH2SNB")
+        addr_a = m.heap.alloc_block(0)
+        color = m.params.cache_set_of_block(block_of(m, addr_a))
+        addr_b = m.heap.alloc_block(1, color=color)
+        m.run(ScriptWorkload(
+            {2: [("write", addr_a), ("read", addr_b), ("write", addr_a)]},
+        ))
+        assert m.nodes[2].cache_ctrl.state_of(block_of(m, addr_a)) is RW
+
+    def test_concurrent_writers_serialise(self):
+        m = machine(n=16)
+        addr = m.heap.alloc_block(0)
+        scripts = {node: [("write", addr)] for node in range(1, 9)}
+        stats = m.run(ScriptWorkload(scripts))
+        blk = block_of(m, addr)
+        owners = [node for node in range(1, 9)
+                  if m.nodes[node].cache_ctrl.state_of(blk) is RW]
+        assert len(owners) == 1
+        assert m.nodes[0].home.entries[blk].owner == owners[0]
+        assert stats.total("retries") > 0
+        assert check_coherence(m) == []
+
+    def test_victim_cache_avoids_conflict_misses(self):
+        results = {}
+        for victim in (False, True):
+            m = machine(n=4, protocol="DirnH2SNB",
+                        victim_cache_enabled=victim)
+            addr_a = m.heap.alloc_block(0)
+            color = m.params.cache_set_of_block(block_of(m, addr_a))
+            addr_b = m.heap.alloc_block(1, color=color)
+            ops = []
+            for _ in range(20):
+                ops.append(("read", addr_a))
+                ops.append(("read", addr_b))
+            stats = m.run(ScriptWorkload({2: ops}))
+            results[victim] = stats.total("cache_misses")
+        assert results[True] < results[False]
+        assert results[True] == 2  # only the two cold misses
+
+
+class TestWorkerSetTracking:
+    def test_grants_recorded(self):
+        m = Machine(MachineParams(n_nodes=4), protocol="DirnH2SNB",
+                    track_worker_sets=True)
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("read", addr)], 2: [("compute", 60), ("read", addr)]},
+        ))
+        hist = m.worker_set_histogram()
+        assert hist[2] == 1

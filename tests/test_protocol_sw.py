@@ -1,0 +1,207 @@
+"""Scripted scenarios for the software-heavy protocols: the one-pointer
+acknowledgement variants, the software-only directory, and Dir1SW."""
+
+from repro.common.types import CacheState, DirState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+
+from tests.helpers import ScriptWorkload, check_coherence
+
+RO = CacheState.READ_ONLY
+RW = CacheState.READ_WRITE
+INV = CacheState.INVALID
+
+
+def machine(n=16, protocol="DirnH1SNB,ACK", **overrides):
+    return Machine(MachineParams(n_nodes=n, **overrides), protocol=protocol)
+
+
+def shared_write_scenario(m, readers=3):
+    """readers read a block on node 0, then node 9 writes it."""
+    addr = m.heap.alloc_block(0)
+    scripts = {}
+    for i, node in enumerate(range(1, readers + 1)):
+        scripts[node] = [("compute", 60 * i), ("read", addr), ("barrier",)]
+    scripts[9] = [("barrier",), ("write", addr)]
+    m.run(ScriptWorkload(scripts))
+    return addr >> m.params.block_shift
+
+
+class TestOnePointerVariants:
+    """Section 2.4: the three acknowledgement-collection strategies."""
+
+    def test_ack_variant_traps_on_every_ack(self):
+        m = machine(protocol="DirnH1SNB,ACK")
+        blk = shared_write_scenario(m, readers=3)
+        home = m.nodes[0].stats
+        # 3 invalidations -> 2 intermediate ack traps + 1 final.
+        assert home.traps["ack_software"] == 2
+        assert home.traps["ack_last"] == 1
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+
+    def test_lack_variant_traps_once(self):
+        m = machine(protocol="DirnH1SNB,LACK")
+        blk = shared_write_scenario(m, readers=3)
+        home = m.nodes[0].stats
+        assert home.traps.get("ack_software", 0) == 0
+        assert home.traps["ack_last"] == 1
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+
+    def test_hardware_variant_never_traps_on_acks(self):
+        m = machine(protocol="DirnH1SNB")
+        blk = shared_write_scenario(m, readers=3)
+        home = m.nodes[0].stats
+        assert home.traps.get("ack_software", 0) == 0
+        assert home.traps.get("ack_last", 0) == 0
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+
+    def test_read_overflow_on_second_reader(self):
+        m = machine(protocol="DirnH1SNB,LACK")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("read", addr)],
+             2: [("compute", 80), ("read", addr)]},
+        ))
+        assert m.nodes[0].stats.traps["read_overflow"] == 1
+
+    def test_variant_performance_ordering(self):
+        """ACK must be slowest, hardware fastest (Figure 2's finding)."""
+        cycles = {}
+        for proto in ("DirnH1SNB,ACK", "DirnH1SNB,LACK", "DirnH1SNB"):
+            m = machine(protocol=proto)
+            shared_write_scenario(m, readers=8)
+            cycles[proto] = m.sim.now
+        assert cycles["DirnH1SNB"] <= cycles["DirnH1SNB,LACK"]
+        assert cycles["DirnH1SNB,LACK"] <= cycles["DirnH1SNB,ACK"]
+
+
+class TestDir1SW:
+    """Section 2.5: Dir1H1SB,LACK (Wood et al.'s Dir1SW)."""
+
+    def test_reads_never_trap(self):
+        m = machine(protocol="Dir1H1SB,LACK")
+        addr = m.heap.alloc_block(0)
+        scripts = {node: [("compute", 50 * node), ("read", addr)]
+                   for node in range(1, 10)}
+        m.run(ScriptWorkload(scripts))
+        assert m.nodes[0].stats.traps.get("read_overflow", 0) == 0
+        # But the entry knows it lost track.
+        blk = addr >> m.params.block_shift
+        assert m.nodes[0].home.entries[blk].extended
+
+    def test_write_broadcasts_to_all_nodes(self):
+        m = machine(n=16, protocol="Dir1H1SB,LACK")
+        blk = shared_write_scenario(m, readers=3)
+        home = m.nodes[0].stats
+        # Broadcast: every node except the writer is invalidated.
+        assert home.invalidations_sw == 15
+        assert home.traps["write_extended"] == 1
+        assert home.traps["ack_last"] == 1
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+
+    def test_single_copy_write_handled_in_hardware(self):
+        m = machine(protocol="Dir1H1SB,LACK")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("read", addr), ("barrier",)],
+             2: [("barrier",), ("write", addr)]},
+        ))
+        home = m.nodes[0].stats
+        assert home.traps.get("write_extended", 0) == 0
+        assert home.invalidations_hw == 1
+
+
+class TestSoftwareOnly:
+    """Section 2.3: the DirnH0SNB,ACK software-only directory."""
+
+    def test_local_accesses_do_not_trap(self):
+        m = machine(n=4, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(1)
+        m.run(ScriptWorkload(
+            {1: [("read", addr), ("write", addr), ("read", addr)]},
+        ))
+        assert sum(m.nodes[1].stats.traps.values()) == 0
+        entry = m.nodes[1].home.entries[addr >> m.params.block_shift]
+        assert not entry.remote_bit
+
+    def test_remote_read_sets_bit_and_flushes_home_copy(self):
+        m = machine(n=4, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(1)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload(
+            {1: [("read", addr), ("barrier",)],
+             2: [("barrier",), ("read", addr)]},
+        ))
+        entry = m.nodes[1].home.entries[blk]
+        assert entry.remote_bit
+        # The home's own cached copy was flushed (Section 2.3).
+        assert m.nodes[1].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RO
+
+    def test_local_access_after_bit_set_traps(self):
+        m = machine(n=4, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(1)
+        m.run(ScriptWorkload(
+            {2: [("read", addr), ("barrier",)],
+             1: [("barrier",), ("read", addr)]},
+        ))
+        assert m.nodes[1].stats.traps["local_fault"] >= 1
+
+    def test_remote_write_to_dirty_fetches_owner(self):
+        m = machine(n=4, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload(
+            {1: [("write", addr), ("barrier",)],
+             2: [("barrier",), ("write", addr)]},
+        ))
+        assert m.nodes[1].cache_ctrl.state_of(blk) is INV
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RW
+        entry = m.nodes[0].home.entries[blk]
+        assert entry.state is DirState.READ_WRITE and entry.owner == 2
+
+    def test_every_ack_traps(self):
+        m = machine(n=16, protocol="DirnH0SNB,ACK")
+        blk = shared_write_scenario(m, readers=4)
+        home = m.nodes[0].stats
+        assert home.traps["ack_software"] >= 3
+        assert home.traps["ack_last"] >= 1
+        assert m.nodes[9].cache_ctrl.state_of(blk) is RW
+
+    def test_all_protocol_work_is_software(self):
+        m = machine(n=4, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload(
+            {1: [("read", addr)], 2: [("compute", 100), ("read", addr)]},
+        ))
+        assert m.nodes[0].stats.invalidations_hw == 0
+        assert m.nodes[0].stats.traps["remote_request"] >= 2
+
+    def test_coherent_at_quiescence(self):
+        m = machine(n=9, protocol="DirnH0SNB,ACK")
+        addr = m.heap.alloc_block(0)
+        scripts = {}
+        for node in range(9):
+            scripts[node] = [("compute", 30 * node), ("read", addr),
+                             ("barrier",), ("write", addr)
+                             if node == 5 else ("read", addr)]
+        m.run(ScriptWorkload(scripts))
+        assert check_coherence(m) == []
+
+
+class TestWatchdog:
+    def test_watchdog_enabled_only_for_software_ack_protocols(self):
+        assert machine(protocol="DirnH0SNB,ACK").watchdog_enabled
+        assert machine(protocol="DirnH1SNB,ACK").watchdog_enabled
+        assert not machine(protocol="DirnH1SNB,LACK").watchdog_enabled
+        assert not machine(protocol="DirnH5SNB").watchdog_enabled
+        assert not machine(protocol="DirnHNBS-").watchdog_enabled
+
+    def test_watchdog_fires_under_trap_storm(self):
+        from repro.workloads.worker import WorkerBenchmark
+
+        params = MachineParams(n_nodes=16, watchdog_threshold=1500,
+                               watchdog_window=400)
+        m = Machine(params, protocol="DirnH0SNB,ACK")
+        stats = m.run(WorkerBenchmark(worker_set_size=15, iterations=2))
+        assert stats.total("watchdog_activations") > 0

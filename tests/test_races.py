@@ -1,0 +1,159 @@
+"""Race-condition scenarios: events crafted to collide in flight.
+
+These tests aim at the transitional windows of the protocol — write-backs
+crossing fetches, invalidations chasing grants, retries racing stale
+replies — where implementation bugs in directory protocols classically
+hide.
+"""
+
+import pytest
+
+from repro.common.types import CacheState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.sim.trace import ProtocolTracer
+
+from tests.helpers import ScriptWorkload, check_coherence
+
+RO = CacheState.READ_ONLY
+RW = CacheState.READ_WRITE
+INV = CacheState.INVALID
+
+
+def machine(n=16, protocol="DirnH2SNB", **overrides):
+    return Machine(MachineParams(n_nodes=n, **overrides), protocol=protocol)
+
+
+def conflict_pair(m, home_a=0, home_b=1):
+    """Two blocks that map to the same direct-mapped cache set."""
+    a = m.heap.alloc_block(home_a)
+    color = m.params.cache_set_of_block(a >> m.params.block_shift)
+    b = m.heap.alloc_block(home_b, color=color)
+    return a, b
+
+
+class TestWritebackRaces:
+    @pytest.mark.parametrize("protocol",
+                             ["DirnH2SNB", "DirnH5SNB", "DirnHNBS-",
+                              "DirnH1SNB,LACK", "DirnH0SNB,ACK"])
+    def test_writeback_crossing_fetch(self, protocol):
+        """Node 2 dirties a block then immediately evicts it (conflict),
+        while node 3 requests it — the write-back and the fetch cross in
+        flight for a range of relative timings."""
+        for delay in range(0, 60, 7):
+            m = machine(protocol=protocol)
+            a, b = conflict_pair(m)
+            blk = a >> m.params.block_shift
+            m.run(ScriptWorkload({
+                2: [("write", a), ("read", b)],  # evict dirty a
+                3: [("compute", delay), ("read", a)],
+            }))
+            assert m.nodes[3].cache_ctrl.state_of(blk) in (RO, RW)
+            assert check_coherence(m) == []
+
+    def test_owner_rerequests_its_own_block_after_eviction(self):
+        m = machine()
+        a, b = conflict_pair(m)
+        m.run(ScriptWorkload({
+            2: [("write", a), ("read", b), ("write", a)],
+        }))
+        blk = a >> m.params.block_shift
+        assert m.nodes[2].cache_ctrl.state_of(blk) is RW
+        assert m.nodes[0].home.entries[blk].owner == 2
+
+    def test_two_nodes_ping_pong_dirty_block(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        ops_a, ops_b = [], []
+        for _ in range(6):
+            ops_a.append(("write", addr))
+            ops_a.append(("compute", 17))
+            ops_b.append(("write", addr))
+            ops_b.append(("compute", 23))
+        m.run(ScriptWorkload({2: ops_a, 3: ops_b}))
+        assert check_coherence(m) == []
+
+
+class TestGrantRaces:
+    @pytest.mark.parametrize("delay", [0, 5, 11, 23, 41, 80])
+    def test_invalidation_chasing_grant(self, delay):
+        """A writer invalidates while a reader's grant is still in
+        flight; per-channel FIFO must keep them ordered."""
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        tracer = ProtocolTracer.attach(m)
+        m.run(ScriptWorkload({
+            2: [("read", addr)],
+            3: [("compute", delay), ("write", addr)],
+        }))
+        assert tracer.verify() == []
+        assert check_coherence(m) == []
+
+    def test_many_readers_race_one_writer(self):
+        for protocol in ("DirnH5SNB", "DirnH1SNB,ACK"):
+            m = machine(protocol=protocol)
+            addr = m.heap.alloc_block(0)
+            scripts = {node: [("compute", 3 * node), ("read", addr)]
+                       for node in range(1, 12)}
+            scripts[12] = [("compute", 20), ("write", addr)]
+            m.run(ScriptWorkload(scripts))
+            assert check_coherence(m) == []
+
+    def test_simultaneous_upgrades(self):
+        """Two sharers upgrade at once: exactly one write wins first and
+        the other retries; both eventually succeed."""
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        stats = m.run(ScriptWorkload({
+            2: [("read", addr), ("barrier",), ("write", addr)],
+            3: [("read", addr), ("barrier",), ("write", addr)],
+        }))
+        blk = addr >> m.params.block_shift
+        owners = [n for n in (2, 3)
+                  if m.nodes[n].cache_ctrl.state_of(blk) is RW]
+        assert len(owners) == 1
+        assert check_coherence(m) == []
+
+
+class TestH0Races:
+    def test_local_eviction_after_remote_bit_set(self):
+        """The home dirties its own block, a remote touch sets the bit,
+        then the home's dirty copy is conflict-evicted: the write-back
+        must be handled by software without corrupting state."""
+        m = machine(protocol="DirnH0SNB,ACK", n=4)
+        a, b = conflict_pair(m, home_a=1, home_b=2)
+        blk = a >> m.params.block_shift
+        m.run(ScriptWorkload({
+            1: [("write", a), ("barrier",), ("read", b)],  # evicts dirty a
+            3: [("barrier",), ("compute", 200), ("read", a)],
+        }))
+        entry = m.nodes[1].home.entries[blk]
+        assert entry.remote_bit
+        assert m.nodes[3].cache_ctrl.state_of(blk) in (RO, RW)
+        assert check_coherence(m) == []
+
+    def test_h0_request_storm_on_one_block(self):
+        m = machine(protocol="DirnH0SNB,ACK", n=16)
+        addr = m.heap.alloc_block(0)
+        scripts = {}
+        for node in range(1, 16):
+            kind = "write" if node % 3 == 0 else "read"
+            scripts[node] = [("compute", node), (kind, addr),
+                             ("compute", 9), (kind, addr)]
+        m.run(ScriptWorkload(scripts))
+        assert check_coherence(m) == []
+
+
+class TestBroadcastRaces:
+    def test_broadcast_write_races_fresh_readers(self):
+        """Dir1SW broadcast invalidations hit nodes that never cached
+        the block; everyone must still acknowledge."""
+        m = machine(protocol="Dir1H1SB,LACK")
+        addr = m.heap.alloc_block(0)
+        tracer = ProtocolTracer.attach(m)
+        scripts = {node: [("compute", 10 * node), ("read", addr)]
+                   for node in range(1, 6)}
+        scripts[7] = [("compute", 25), ("write", addr)]
+        m.run(ScriptWorkload(scripts))
+        assert tracer.verify() == []
+        assert check_coherence(m) == []

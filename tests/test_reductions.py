@@ -1,0 +1,95 @@
+"""Tests for the combining-tree global reduction primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.base import Workload, det_rand
+
+
+class ReduceWorkload(Workload):
+    """Every node contributes per-round values to a global reduction."""
+
+    name = "reduce"
+
+    def __init__(self, combine, values, rounds=1):
+        self.combine = combine
+        self.values = values  # values[node][round]
+        self.rounds = rounds
+        self.seen = {}
+
+    def setup(self, machine):
+        self.rid = machine.create_reduction(self.combine)
+
+    def thread(self, machine, node_id):
+        for rnd in range(self.rounds):
+            yield ("compute", (node_id * 13) % 40)
+            yield ("reduce", self.rid, self.values[node_id][rnd])
+            self.seen.setdefault(rnd, set()).add(
+                machine.reduction_result(self.rid))
+
+
+def run_reduce(n, combine, values, rounds=1, protocol="DirnH5SNB"):
+    machine = Machine(MachineParams(n_nodes=n), protocol=protocol)
+    workload = ReduceWorkload(combine, values, rounds)
+    machine.run(workload)
+    return machine, workload
+
+
+class TestReductions:
+    def test_global_sum(self):
+        values = [[node] for node in range(16)]
+        _m, w = run_reduce(16, lambda a, b: a + b, values)
+        assert w.seen[0] == {sum(range(16))}
+
+    def test_global_max(self):
+        values = [[det_rand(5, node) % 1000] for node in range(16)]
+        _m, w = run_reduce(16, max, values)
+        assert w.seen[0] == {max(v[0] for v in values)}
+
+    def test_every_node_sees_the_same_result(self):
+        values = [[node * 3] for node in range(64)]
+        _m, w = run_reduce(64, lambda a, b: a + b, values)
+        assert len(w.seen[0]) == 1
+
+    def test_multiple_rounds_are_independent(self):
+        rounds = 4
+        values = [[node + 100 * rnd for rnd in range(rounds)]
+                  for node in range(16)]
+        _m, w = run_reduce(16, lambda a, b: a + b, values, rounds=rounds)
+        for rnd in range(rounds):
+            expected = sum(node + 100 * rnd for node in range(16))
+            assert w.seen[rnd] == {expected}
+
+    def test_single_node_machine(self):
+        _m, w = run_reduce(1, lambda a, b: a + b, [[42]])
+        assert w.seen[0] == {42}
+
+    def test_unknown_reduction_rejected(self):
+        machine = Machine(MachineParams(n_nodes=4), protocol="DirnH2SNB")
+        with pytest.raises(ConfigurationError):
+            machine.reductions.contribute(0, 99, 1, lambda: None)
+
+    def test_reduction_messages_travel_the_fabric(self):
+        machine = Machine(MachineParams(n_nodes=16), protocol="DirnH2SNB")
+        workload = ReduceWorkload(lambda a, b: a + b,
+                                  [[node] for node in range(16)])
+        stats = machine.run(workload)
+        assert stats.messages_by_kind().get("reduce_up", 0) > 0
+        assert stats.messages_by_kind().get("reduce_down", 0) > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_sum_correct_for_random_values(self, seed):
+        values = [[det_rand(seed, node) % 10_000] for node in range(16)]
+        _m, w = run_reduce(16, lambda a, b: a + b, values)
+        assert w.seen[0] == {sum(v[0] for v in values)}
+
+    def test_deterministic(self):
+        values = [[node] for node in range(16)]
+        m1, _ = run_reduce(16, lambda a, b: a + b, values)
+        m2, _ = run_reduce(16, lambda a, b: a + b, values)
+        assert m1.sim.now == m2.sim.now

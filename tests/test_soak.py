@@ -1,0 +1,84 @@
+"""Soak tests (marked slow): sustained adversarial traffic with full
+verification — transcript checking, coherence checking, determinism —
+across the whole protocol spectrum at once."""
+
+import pytest
+
+from repro.core.spec import PAPER_SPECTRUM
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.sim.trace import ProtocolTracer
+
+from tests.helpers import VersionedWorkload, check_coherence
+
+ALL_PROTOCOLS = list(PAPER_SPECTRUM) + ["Dir1H1SB,LACK"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_soak_sustained_contention(protocol):
+    machine = Machine(MachineParams(n_nodes=16), protocol=protocol)
+    tracer = ProtocolTracer.attach(machine)
+    stats = machine.run(
+        VersionedWorkload(ops_per_node=400, blocks=12, seed=2024,
+                          write_ratio=0.45, barrier_every=100),
+        max_events=20_000_000,
+    )
+    assert check_coherence(machine) == []
+    assert tracer.verify() == []
+    assert stats.total("loads") + stats.total("stores") == 16 * 400
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol",
+                         ["DirnH5SNB", "DirnH1SNB,ACK", "DirnH0SNB,ACK"])
+def test_soak_with_every_option_enabled(protocol):
+    """All the optional machinery at once: victim cache, link-level
+    network, migratory detection, dynamic invalidation, worker-set
+    tracking, profiling."""
+    from repro.analysis.profiling import AccessProfiler
+
+    machine = Machine(
+        MachineParams(n_nodes=16, victim_cache_enabled=True),
+        protocol=protocol,
+        invalidation_mode="dynamic",
+        network_model="links",
+        migratory_detection=(protocol != "DirnH0SNB,ACK"),
+        track_worker_sets=True,
+    )
+    machine.profiler = AccessProfiler()
+    stats = machine.run(
+        VersionedWorkload(ops_per_node=250, blocks=10, seed=7,
+                          write_ratio=0.4, barrier_every=50),
+        max_events=20_000_000,
+    )
+    assert check_coherence(machine) == []
+    assert stats.worker_set_histogram
+    assert len(machine.profiler) > 0
+
+
+@pytest.mark.slow
+def test_soak_determinism_with_all_features():
+    def run():
+        machine = Machine(
+            MachineParams(n_nodes=9, victim_cache_enabled=True),
+            protocol="DirnH5SNB", invalidation_mode="dynamic",
+            migratory_detection=True)
+        stats = machine.run(VersionedWorkload(
+            ops_per_node=300, blocks=8, seed=99, write_ratio=0.5))
+        return (stats.run_cycles, stats.total_traps,
+                tuple(sorted(stats.messages_by_kind().items())))
+
+    assert run() == run()
+
+
+@pytest.mark.slow
+def test_soak_256_nodes():
+    machine = Machine(MachineParams(n_nodes=256), protocol="DirnH5SNB")
+    stats = machine.run(
+        VersionedWorkload(ops_per_node=40, blocks=64, seed=4,
+                          write_ratio=0.3),
+        max_events=50_000_000,
+    )
+    assert check_coherence(machine) == []
+    assert stats.n_nodes == 256

@@ -1,0 +1,166 @@
+"""Tests for the protocol-notation spec (paper Section 2.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolSpecError
+from repro.core.spec import (
+    ALEWIFE_SUPPORTED,
+    PAPER_SPECTRUM,
+    AckMode,
+    ProtocolSpec,
+    hardware_pointer_label,
+    spec_of,
+)
+
+
+class TestParsing:
+    def test_full_map(self):
+        spec = ProtocolSpec.parse("DirnHNBS-")
+        assert spec.full_map
+        assert not spec.needs_software
+        assert spec.name == "DirnHNBS-"
+
+    def test_limitless_five(self):
+        spec = ProtocolSpec.parse("DirnH5SNB")
+        assert spec.hw_pointers == 5
+        assert spec.sw_extension
+        assert not spec.sw_broadcast
+        assert spec.ack_mode is AckMode.HARDWARE
+        assert spec.local_bit
+
+    def test_one_pointer_ack(self):
+        spec = ProtocolSpec.parse("DirnH1SNB,ACK")
+        assert spec.hw_pointers == 1
+        assert spec.ack_mode is AckMode.SOFTWARE
+        assert spec.smallset_opt
+
+    def test_one_pointer_lack(self):
+        spec = ProtocolSpec.parse("DirnH1SNB,LACK")
+        assert spec.ack_mode is AckMode.LAST_SOFTWARE
+
+    def test_one_pointer_hardware(self):
+        spec = ProtocolSpec.parse("DirnH1SNB")
+        assert spec.ack_mode is AckMode.HARDWARE
+
+    def test_software_only(self):
+        spec = ProtocolSpec.parse("DirnH0SNB,ACK")
+        assert spec.is_software_only
+        assert not spec.local_bit
+        assert spec.ack_mode is AckMode.SOFTWARE
+
+    def test_dir1sw(self):
+        spec = ProtocolSpec.parse("Dir1H1SB,LACK")
+        assert spec.sw_broadcast
+        assert not spec.sw_extension
+        assert spec.ack_mode is AckMode.LAST_SOFTWARE
+        assert not spec.traps_on_read_overflow
+
+    def test_case_insensitive(self):
+        assert ProtocolSpec.parse("dirnh5snb").name == "DirnH5SNB"
+
+    def test_aliases(self):
+        assert ProtocolSpec.parse("full-map").full_map
+        assert ProtocolSpec.parse("fullmap").full_map
+        assert ProtocolSpec.parse("software-only").is_software_only
+        assert ProtocolSpec.parse("limitless4").hw_pointers == 4
+        assert ProtocolSpec.parse("dir1sw").sw_broadcast
+
+    def test_spaces_and_underscores_tolerated(self):
+        assert ProtocolSpec.parse("Dir_n H_5 S_NB").name == "DirnH5SNB"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("DirXH5SNB")
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("")
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("Dir5")
+
+    def test_full_map_with_software_options_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("DirnHNBS-,ACK")
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("DirnHNBSB")
+
+    def test_dir_i_without_broadcast_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("Dir1H1SNB")
+
+    def test_dir_i_mismatched_pointer_counts_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec.parse("Dir2H1SB")
+
+
+class TestValidation:
+    def test_h0_requires_software_acks(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec(hw_pointers=0, ack_mode=AckMode.HARDWARE,
+                         local_bit=False)
+
+    def test_h0_rejects_local_bit(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec(hw_pointers=0, ack_mode=AckMode.SOFTWARE,
+                         local_bit=True)
+
+    def test_broadcast_and_extension_exclusive(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec(hw_pointers=1, sw_extension=True, sw_broadcast=True)
+
+    def test_negative_pointers_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec(hw_pointers=-1)
+
+    def test_plain_limited_directory_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            ProtocolSpec(hw_pointers=3, sw_extension=False,
+                         sw_broadcast=False)
+
+
+class TestProperties:
+    def test_spectrum_parses(self):
+        for name in PAPER_SPECTRUM:
+            assert ProtocolSpec.parse(name).name == name
+
+    def test_alewife_supported_parses(self):
+        for name in ALEWIFE_SUPPORTED:
+            ProtocolSpec.parse(name)
+
+    def test_spec_of_passthrough(self):
+        spec = ProtocolSpec.parse("DirnH3SNB")
+        assert spec_of(spec) is spec
+        assert spec_of("DirnH3SNB") == spec
+
+    def test_hardware_pointer_label(self):
+        assert hardware_pointer_label(ProtocolSpec.parse("DirnH5SNB")) == "5"
+        assert hardware_pointer_label(
+            ProtocolSpec.parse("DirnHNBS-"), n_nodes=64) == "64"
+        assert hardware_pointer_label(ProtocolSpec.parse("DirnHNBS-")) == "n"
+
+    def test_with_updates(self):
+        spec = ProtocolSpec.parse("DirnH5SNB")
+        no_bit = spec.with_updates(local_bit=False)
+        assert spec.local_bit and not no_bit.local_bit
+        assert no_bit.hw_pointers == 5
+
+    @given(st.integers(min_value=1, max_value=9),
+           st.sampled_from(["", ",ACK", ",LACK"]))
+    def test_roundtrip_dirn(self, pointers, suffix):
+        name = f"DirnH{pointers}SNB{suffix}"
+        spec = ProtocolSpec.parse(name)
+        assert spec.name == name
+        assert ProtocolSpec.parse(spec.name) == spec
+
+    @given(st.integers(min_value=1, max_value=9),
+           st.sampled_from([",ACK", ",LACK", ""]))
+    def test_roundtrip_broadcast(self, pointers, suffix):
+        name = f"Dir{pointers}H{pointers}SB{suffix}"
+        spec = ProtocolSpec.parse(name)
+        assert spec.sw_broadcast
+        assert ProtocolSpec.parse(spec.name) == spec
+
+    def test_frozen(self):
+        spec = ProtocolSpec.parse("DirnH5SNB")
+        with pytest.raises(Exception):
+            spec.hw_pointers = 2  # type: ignore[misc]

@@ -1,0 +1,133 @@
+"""Stateful property-based tests (hypothesis rule-based machines).
+
+Two model-based checkers: the cache system against a reference dict
+model, and the directory entry against a reference sharer-set model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.cache import DirectMappedCache
+from repro.common.errors import ProtocolStateError
+from repro.common.types import CacheState
+from repro.core.directory import DirectoryEntry
+
+BLOCKS = st.integers(min_value=0, max_value=120)
+STATES = st.sampled_from([CacheState.READ_ONLY, CacheState.READ_WRITE])
+
+
+class CacheModel(RuleBasedStateMachine):
+    """The cache must agree with a simple mapping model.
+
+    The model tracks the state of every block the cache *may* still
+    hold; the cache may have evicted it (capacity), but must never hold
+    a block in a state the model disagrees with, and must never hold a
+    block the model considers invalidated.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.cache = DirectMappedCache(16, victim_entries=2)
+        self.model = {}  # block -> CacheState last installed
+        self.dropped = set()  # blocks invalidated by the "protocol"
+
+    @rule(block=BLOCKS, state=STATES)
+    def fill(self, block, state):
+        evicted = self.cache.fill(block, state)
+        self.model[block] = state
+        self.dropped.discard(block)
+        for ev in evicted:
+            # An eviction's reported state must match the model's.
+            assert ev.state == self.model[ev.block]
+            del self.model[ev.block]
+
+    @rule(block=BLOCKS)
+    def lookup(self, block):
+        state, _victim = self.cache.lookup(block)
+        if state is not CacheState.INVALID:
+            assert block in self.model
+            assert self.model[block] == state
+
+    @rule(block=BLOCKS)
+    def invalidate(self, block):
+        prior = self.cache.invalidate(block)
+        if block in self.model:
+            assert prior == self.model[block]
+            del self.model[block]
+        else:
+            assert prior is CacheState.INVALID
+        self.dropped.add(block)
+
+    @rule(block=BLOCKS)
+    def downgrade(self, block):
+        prior = self.cache.downgrade(block)
+        if prior is not CacheState.INVALID:
+            assert self.model[block] == prior
+            self.model[block] = CacheState.READ_ONLY
+
+    @invariant()
+    def residents_are_modeled(self):
+        for block in self.cache.resident_blocks():
+            assert block in self.model
+            assert block not in self.dropped
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cache.resident_blocks()) <= 16 + 2
+
+
+class DirectoryModel(RuleBasedStateMachine):
+    """Directory pointer bookkeeping against a reference sharer set."""
+
+    NODES = st.integers(min_value=0, max_value=9)
+
+    def __init__(self):
+        super().__init__()
+        self.entry = DirectoryEntry(capacity=3, block=1, home=0,
+                                    use_local_bit=True)
+        self.sharers = set()
+
+    @rule(node=NODES)
+    def record_if_possible(self, node):
+        if self.entry.can_record(node):
+            self.entry.record(node)
+            self.sharers.add(node)
+        else:
+            try:
+                self.entry.record(node)
+            except ProtocolStateError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("record succeeded past capacity")
+
+    @rule(node=NODES)
+    def drop(self, node):
+        self.entry.drop(node)
+        self.sharers.discard(node)
+
+    @rule()
+    def empty_into_software(self):
+        taken = self.entry.take_all_pointers()
+        assert set(taken) == {n for n in self.sharers if n != 0}
+        keep_home = 0 in self.sharers and self.entry.local_bit
+        self.sharers = {0} if keep_home else set()
+
+    @invariant()
+    def sharer_set_matches(self):
+        assert self.entry.sharer_set() == self.sharers
+
+    @invariant()
+    def pointer_capacity_respected(self):
+        assert len(self.entry.pointers) <= 3
+
+
+TestCacheModel = CacheModel.TestCase
+TestCacheModel.settings = settings(max_examples=40,
+                                   stateful_step_count=60,
+                                   deadline=None)
+
+TestDirectoryModel = DirectoryModel.TestCase
+TestDirectoryModel.settings = settings(max_examples=40,
+                                       stateful_step_count=60,
+                                       deadline=None)

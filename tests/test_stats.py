@@ -1,0 +1,96 @@
+"""Tests for statistics containers and aggregation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import HandlerSample, NodeStats, RunStats
+
+
+def make_stats(samples=(), per_node=None, run_cycles=1000, seq=4000):
+    nodes = per_node if per_node is not None else [NodeStats(node=0)]
+    return RunStats(
+        run_cycles=run_cycles,
+        n_nodes=len(nodes),
+        per_node=nodes,
+        handler_samples=list(samples),
+        sequential_cycles=seq,
+    )
+
+
+def sample(kind="read", impl="flexible", latency=100, node=0, pointers=5):
+    return HandlerSample(kind=kind, implementation=impl, node=node,
+                         pointers=pointers, latency=latency,
+                         breakdown={"x": latency})
+
+
+class TestNodeStats:
+    def test_accesses_and_hit_rate(self):
+        ns = NodeStats(node=0, loads=6, stores=3, ifetches=1,
+                       cache_hits=8, cache_misses=2)
+        assert ns.accesses == 10
+        assert ns.hit_rate == pytest.approx(0.8)
+
+    def test_hit_rate_with_no_accesses(self):
+        assert NodeStats(node=0).hit_rate == 1.0
+
+
+class TestRunStats:
+    def test_total_sums_across_nodes(self):
+        nodes = [NodeStats(node=0, loads=3), NodeStats(node=1, loads=4)]
+        stats = make_stats(per_node=nodes)
+        assert stats.total("loads") == 7
+
+    def test_traps_by_kind_merges(self):
+        a = NodeStats(node=0)
+        a.traps["read_overflow"] = 2
+        b = NodeStats(node=1)
+        b.traps["read_overflow"] = 3
+        b.traps["ack_last"] = 1
+        stats = make_stats(per_node=[a, b])
+        assert stats.traps_by_kind() == {"read_overflow": 5, "ack_last": 1}
+        assert stats.total_traps == 6
+
+    def test_speedup(self):
+        stats = make_stats(run_cycles=1000, seq=4000)
+        assert stats.speedup == 4.0
+        assert make_stats(run_cycles=0).speedup == 0.0
+
+    def test_utilization(self):
+        nodes = [NodeStats(node=0, user_cycles=500),
+                 NodeStats(node=1, user_cycles=250)]
+        stats = make_stats(per_node=nodes, run_cycles=1000)
+        assert stats.processor_utilization == pytest.approx(0.375)
+
+    def test_mean_handler_latency_filters(self):
+        stats = make_stats(samples=[
+            sample(latency=100), sample(latency=200),
+            sample(kind="write", latency=999),
+            sample(impl="optimized", latency=1),
+        ])
+        assert stats.mean_handler_latency("read", "flexible") == 150.0
+        assert stats.mean_handler_latency("write", "flexible") == 999.0
+        assert stats.mean_handler_latency("ack", "flexible") == 0.0
+
+    def test_median_handler_sample(self):
+        stats = make_stats(samples=[
+            sample(latency=10), sample(latency=99), sample(latency=50),
+        ])
+        median = stats.median_handler_sample("read", "flexible")
+        assert median is not None and median.latency == 50
+        assert stats.median_handler_sample("ack", "flexible") is None
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_median_is_order_statistic(self, latencies):
+        stats = make_stats(samples=[sample(latency=v) for v in latencies])
+        median = stats.median_handler_sample("read", "flexible")
+        assert median is not None
+        assert median.latency == sorted(latencies)[len(latencies) // 2]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_mean_matches_direct_average(self, latencies):
+        stats = make_stats(samples=[sample(latency=v) for v in latencies])
+        assert stats.mean_handler_latency("read", "flexible") == \
+            pytest.approx(sum(latencies) / len(latencies))

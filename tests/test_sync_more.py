@@ -1,0 +1,132 @@
+"""Deeper synchronisation coverage: multiple locks, remote lock homes,
+FIFO fairness across nodes, barrier scale, and primitive composition."""
+
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.base import Workload
+
+from tests.helpers import ScriptWorkload
+
+
+class TwoLocks(Workload):
+    """Two independent critical sections; disjoint node groups."""
+
+    name = "two-locks"
+
+    def setup(self, machine):
+        self.lock_a = machine.create_lock(home=0)
+        self.lock_b = machine.create_lock(home=3)
+        self.entries = {self.lock_a: [], self.lock_b: []}
+
+    def thread(self, machine, node_id):
+        lock = self.lock_a if node_id % 2 == 0 else self.lock_b
+        for _ in range(3):
+            yield ("lock", lock)
+            self.entries[lock].append((node_id, machine.sim.now))
+            yield ("compute", 30)
+            yield ("unlock", lock)
+            yield ("compute", 10)
+
+
+class TestLocks:
+    def test_independent_locks_do_not_interfere(self):
+        m = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+        w = TwoLocks()
+        m.run(w)
+        a = m.locks.locks[w.lock_a]
+        b = m.locks.locks[w.lock_b]
+        assert a.acquisitions == 8 * 3
+        assert b.acquisitions == 8 * 3
+        assert a.holder is None and b.holder is None
+
+    def test_lock_homed_on_remote_node(self):
+        m = Machine(MachineParams(n_nodes=9), protocol="DirnH2SNB")
+        lock = m.create_lock(home=5)
+
+        class Grab(Workload):
+            """Every node acquires one remote-homed lock once."""
+
+            name = "grab"
+
+            def setup(self, machine):
+                pass
+
+            def thread(self, machine, node_id):
+                yield ("lock", lock)
+                yield ("compute", 10)
+                yield ("unlock", lock)
+
+        m.run(Grab())
+        state = m.locks.locks[lock]
+        assert state.acquisitions == 9
+        # The home's processor paid for the handlers.
+        assert m.nodes[5].stats.handler_cycles > 0
+
+    def test_fifo_order_matches_request_arrival(self):
+        m = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+        lock = m.create_lock(home=0)
+        # Stagger the requests so arrival order is unambiguous.
+        scripts = {node: [("compute", 100 * node), ("lock", lock),
+                          ("compute", 500), ("unlock", lock)]
+                   for node in range(1, 8)}
+        m.run(ScriptWorkload(scripts))
+        state = m.locks.locks[lock]
+        granted_order = [node for node, _t in state.history]
+        assert granted_order == sorted(granted_order)
+
+    def test_uncontended_lock_is_cheap(self):
+        m = Machine(MachineParams(n_nodes=4), protocol="DirnH2SNB")
+        lock = m.create_lock(home=0)
+        stats = m.run(ScriptWorkload(
+            {1: [("lock", lock), ("compute", 10), ("unlock", lock)]},
+        ))
+        # One round trip plus handler time: well under a millisecond of
+        # simulated time.
+        assert stats.run_cycles < 500
+
+
+class TestBarrierScale:
+    def test_barriers_at_256_nodes(self):
+        m = Machine(MachineParams(n_nodes=256), protocol="DirnH5SNB")
+        m.run(ScriptWorkload({}, barriers=3))
+        assert m.barrier.barriers_completed == 3
+
+    def test_barrier_latency_grows_sublinearly(self):
+        def one_barrier(n):
+            m = Machine(MachineParams(n_nodes=n), protocol="DirnHNBS-")
+            stats = m.run(ScriptWorkload({}, barriers=1))
+            return stats.run_cycles
+
+        t16, t256 = one_barrier(16), one_barrier(256)
+        # A combining tree costs O(log n), not O(n).
+        assert t256 < t16 * 4
+
+
+class ComposedPrimitives(Workload):
+    """Locks, reductions and barriers in one program."""
+
+    name = "composed"
+
+    def setup(self, machine):
+        self.lock = machine.create_lock(home=0)
+        self.red = machine.create_reduction(lambda a, b: a + b)
+        self.counter = 0
+        self.sums = set()
+
+    def thread(self, machine, node_id):
+        yield ("lock", self.lock)
+        self.counter += 1
+        yield ("compute", 20)
+        yield ("unlock", self.lock)
+        yield ("barrier",)
+        yield ("reduce", self.red, node_id)
+        self.sums.add(machine.reduction_result(self.red))
+
+
+class TestComposition:
+    def test_primitives_compose(self):
+        m = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+        w = ComposedPrimitives()
+        m.run(w)
+        assert w.counter == 16
+        assert w.sums == {sum(range(16))}

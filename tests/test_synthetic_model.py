@@ -1,0 +1,156 @@
+"""The synthetic sharing generator, cross-checked against the analytic
+overhead model and the simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    predict_overhead,
+    read_overflow_traps,
+)
+from repro.common.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.synthetic import SyntheticSharing, figure6_like_histogram
+
+from tests.helpers import check_coherence
+
+
+def run_synthetic(protocol, histogram, n=16, iterations=2,
+                  write_fraction=1.0):
+    machine = Machine(MachineParams(n_nodes=n), protocol=protocol)
+    workload = SyntheticSharing(histogram, iterations=iterations,
+                                write_fraction=write_fraction)
+    stats = machine.run(workload)
+    return machine, workload, stats
+
+
+class TestSyntheticGenerator:
+    def test_builds_requested_population(self):
+        hist = {2: 5, 8: 3}
+        _m, w, _s = run_synthetic("DirnHNBS-", hist)
+        assert w.blocks_built == 8
+
+    def test_worker_sets_match_request(self):
+        hist = {3: 4}
+        machine = Machine(MachineParams(n_nodes=16), protocol="DirnHNBS-",
+                          track_worker_sets=True)
+        workload = SyntheticSharing(hist, iterations=2, write_fraction=1.0)
+        stats = machine.run(workload)
+        observed = stats.worker_set_histogram
+        # 3 readers + the writing home = worker sets of 4.
+        assert observed == {4: 4}
+
+    def test_sizes_capped_at_n_minus_1(self):
+        _m, w, _s = run_synthetic("DirnHNBS-", {99: 2}, n=4)
+        for reads in w.read_lists:
+            pass  # built without error; every block has 3 readers
+        total_reads = sum(len(r) for r in w.read_lists)
+        assert total_reads == 2 * 3
+
+    def test_zero_write_fraction_means_read_only(self):
+        _m, _w, stats = run_synthetic("DirnHNBS-", {4: 6},
+                                      write_fraction=0.0)
+        assert stats.total("invalidations_hw") == 0
+
+    def test_coherent_across_protocols(self):
+        for protocol in ("DirnH5SNB", "DirnH1SNB,ACK", "DirnH0SNB,ACK"):
+            machine, _w, _s = run_synthetic(protocol,
+                                            figure6_like_histogram())
+            assert check_coherence(machine) == []
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSharing({})
+        with pytest.raises(ConfigurationError):
+            SyntheticSharing({0: 5})
+        with pytest.raises(ConfigurationError):
+            SyntheticSharing({2: 3}, write_fraction=1.5)
+
+
+class TestOverflowFormula:
+    def test_fits_in_hardware(self):
+        assert read_overflow_traps(worker_set=5, pointers=5) == 0
+        assert read_overflow_traps(worker_set=1, pointers=5) == 0
+
+    def test_first_overflow(self):
+        assert read_overflow_traps(worker_set=6, pointers=5) == 1
+
+    def test_refill_cadence(self):
+        # After the first trap, every `pointers` new readers trap again.
+        assert read_overflow_traps(worker_set=10, pointers=5) == 1
+        assert read_overflow_traps(worker_set=11, pointers=5) == 2
+        assert read_overflow_traps(worker_set=15, pointers=5) == 2
+        assert read_overflow_traps(worker_set=16, pointers=5) == 3
+
+    def test_one_pointer(self):
+        # Every reader past the first traps.
+        assert read_overflow_traps(worker_set=4, pointers=1) == 3
+
+    def test_software_only(self):
+        assert read_overflow_traps(worker_set=4, pointers=0) == 4
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=8))
+    def test_monotonic_in_worker_set(self, w, k):
+        assert (read_overflow_traps(w + 1, k)
+                >= read_overflow_traps(w, k))
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=7))
+    def test_monotonic_in_pointers(self, w, k):
+        assert (read_overflow_traps(w, k + 1)
+                <= read_overflow_traps(w, k))
+
+
+class TestModelAgainstSimulation:
+    """The analytic trap-count prediction matches the simulator exactly
+    for the controlled synthetic traffic."""
+
+    @pytest.mark.parametrize("protocol,histogram", [
+        ("DirnH5SNB", {8: 4}),
+        ("DirnH5SNB", {2: 6, 8: 2}),
+        ("DirnH2SNB", {6: 5}),
+        ("DirnH1SNB,LACK", {4: 3}),
+    ])
+    def test_read_overflow_traps_exact(self, protocol, histogram):
+        iterations = 2
+        _m, _w, stats = run_synthetic(protocol, histogram,
+                                      iterations=iterations,
+                                      write_fraction=1.0)
+        predicted = predict_overhead(protocol, histogram,
+                                     read_rounds=iterations,
+                                     write_rounds=iterations)
+        measured = stats.traps_by_kind()
+        assert measured.get("read_overflow", 0) == predicted.read_traps
+        assert measured.get("write_extended", 0) == predicted.write_traps
+
+    def test_ack_trap_prediction(self):
+        iterations = 2
+        _m, _w, stats = run_synthetic("DirnH1SNB,ACK", {5: 3},
+                                      iterations=iterations)
+        predicted = predict_overhead("DirnH1SNB,ACK", {5: 3},
+                                     read_rounds=iterations,
+                                     write_rounds=iterations)
+        measured = stats.traps_by_kind()
+        measured_acks = (measured.get("ack_software", 0)
+                         + measured.get("ack_last", 0))
+        assert measured_acks == predicted.ack_traps
+
+    def test_full_map_predicts_zero(self):
+        predicted = predict_overhead("DirnHNBS-", {16: 100})
+        assert predicted.total_traps == 0
+        assert predicted.handler_cycles == 0
+
+    def test_handler_cycles_close_to_measured(self):
+        iterations = 2
+        _m, _w, stats = run_synthetic("DirnH5SNB", {8: 4},
+                                      iterations=iterations)
+        predicted = predict_overhead("DirnH5SNB", {8: 4},
+                                     read_rounds=iterations,
+                                     write_rounds=iterations)
+        measured = stats.total("handler_cycles")
+        # Within 15%: the model ignores the per-trap dispatch overhead
+        # and the small-set discounts of mixed-size moments.
+        assert abs(measured - predicted.handler_cycles) <= 0.15 * measured

@@ -1,0 +1,101 @@
+"""Tests for the protocol tracer and its transcript checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import PAPER_SPECTRUM
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.sim.trace import ProtocolTracer, TraceRecord
+
+from tests.helpers import ScriptWorkload, VersionedWorkload
+
+
+def machine(n=9, protocol="DirnH2SNB"):
+    return Machine(MachineParams(n_nodes=n), protocol=protocol)
+
+
+class TestRecording:
+    def test_messages_recorded_with_times(self):
+        m = machine()
+        tracer = ProtocolTracer.attach(m)
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({1: [("read", addr)]}))
+        kinds = tracer.counts()
+        assert kinds["rreq"] == 1
+        assert kinds["rdata"] == 1
+        for record in tracer.records:
+            assert record.delivered_at >= record.sent_at
+
+    def test_block_filter(self):
+        m = machine()
+        a = m.heap.alloc_block(0)
+        b = m.heap.alloc_block(0)
+        blk_a = a >> m.params.block_shift
+        tracer = ProtocolTracer.attach(m, blocks={blk_a})
+        m.run(ScriptWorkload({1: [("read", a), ("read", b)]}))
+        assert {r.block for r in tracer.records} == {blk_a}
+
+    def test_for_block(self):
+        m = machine()
+        a = m.heap.alloc_block(0)
+        tracer = ProtocolTracer.attach(m)
+        m.run(ScriptWorkload({1: [("read", a)], 2: [("write", a)]}))
+        blk = a >> m.params.block_shift
+        assert all(r.block == blk for r in tracer.for_block(blk))
+        assert len(tracer.for_block(blk)) >= 3
+
+
+class TestCheckerCatchesViolations:
+    def test_double_ownership_detected(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "wdata", 0, 2, 7),
+        ]
+        problems = tracer.verify()
+        assert any("while 1 still owns" in p for p in problems)
+
+    def test_legal_handoff_passes(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "fetch_data", 1, 0, 7),
+            TraceRecord(31, 40, "wdata", 0, 2, 7),
+        ]
+        assert tracer.verify() == []
+
+    def test_spurious_ack_detected(self):
+        tracer = ProtocolTracer()
+        tracer.records = [TraceRecord(0, 5, "ack", 3, 0, 9)]
+        problems = tracer.verify()
+        assert any("acked more" in p for p in problems)
+
+    def test_unanswered_request_detected(self):
+        tracer = ProtocolTracer()
+        tracer.records = [TraceRecord(0, 5, "rreq", 3, 0, 9)]
+        problems = tracer.verify()
+        assert any("never got a reply" in p for p in problems)
+
+
+@pytest.mark.parametrize("protocol",
+                         list(PAPER_SPECTRUM) + ["Dir1H1SB,LACK"])
+def test_real_transcripts_verify_clean(protocol):
+    m = Machine(MachineParams(n_nodes=9), protocol=protocol)
+    tracer = ProtocolTracer.attach(m)
+    m.run(VersionedWorkload(ops_per_node=50, blocks=5, seed=17,
+                            write_ratio=0.5))
+    assert tracer.verify() == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31),
+       write_ratio=st.floats(min_value=0.0, max_value=1.0))
+def test_limitless_transcripts_verify_under_random_traffic(seed,
+                                                           write_ratio):
+    m = Machine(MachineParams(n_nodes=4), protocol="DirnH5SNB")
+    tracer = ProtocolTracer.attach(m)
+    m.run(VersionedWorkload(ops_per_node=40, blocks=4, seed=seed,
+                            write_ratio=write_ratio))
+    assert tracer.verify() == []

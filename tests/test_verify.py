@@ -1,0 +1,106 @@
+"""Tests for the library-level coherence verifier and the barrier hook."""
+
+import pytest
+
+from repro.analysis.verify import (
+    BarrierCoherenceChecker,
+    coherence_violations,
+    install_barrier_checker,
+)
+from repro.common.types import CacheState
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.evolve import Evolve
+from repro.workloads.mp3d import MP3D
+from repro.workloads.worker import WorkerBenchmark
+
+from tests.helpers import ScriptWorkload, VersionedWorkload
+
+
+def machine(n=16, protocol="DirnH5SNB"):
+    return Machine(MachineParams(n_nodes=n), protocol=protocol)
+
+
+class TestVerifier:
+    def test_clean_machine_has_no_violations(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({1: [("read", addr)], 2: [("write", addr)]}))
+        assert coherence_violations(m) == []
+
+    def test_detects_planted_double_writer(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload({1: [("write", addr)]}))
+        # Corrupt: plant a second dirty copy behind the protocol's back.
+        m.nodes[2].cache_ctrl.cache.fill(blk, CacheState.READ_WRITE)
+        problems = coherence_violations(m)
+        assert any("multiple writers" in p for p in problems)
+
+    def test_detects_planted_reader_beside_writer(self):
+        m = machine()
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload({1: [("write", addr)]}))
+        m.nodes[3].cache_ctrl.cache.fill(blk, CacheState.READ_ONLY)
+        problems = coherence_violations(m)
+        assert any("alongside readers" in p for p in problems)
+
+    def test_detects_untracked_reader(self):
+        m = machine(protocol="DirnH2SNB")
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+        m.run(ScriptWorkload({1: [("read", addr)]}))
+        m.nodes[3].cache_ctrl.cache.fill(blk, CacheState.READ_ONLY)
+        problems = coherence_violations(m)
+        assert any("untracked" in p for p in problems)
+
+
+class TestBarrierChecker:
+    @pytest.mark.parametrize("protocol",
+                             ["DirnH5SNB", "DirnH1SNB,ACK",
+                              "DirnH0SNB,ACK", "DirnHNBS-"])
+    def test_worker_verifies_at_every_barrier(self, protocol):
+        m = machine(protocol=protocol)
+        checker = install_barrier_checker(m)
+        m.run(WorkerBenchmark(worker_set_size=6, iterations=3))
+        assert checker.barriers_checked == m.barrier.barriers_completed
+        assert checker.barriers_checked >= 7
+
+    def test_applications_verify_at_every_barrier(self):
+        for factory in (lambda: Evolve(dimensions=8, walks_per_node=2),
+                        lambda: MP3D(n_particles=64, steps=2)):
+            m = machine()
+            checker = install_barrier_checker(m)
+            m.run(factory())
+            assert checker.barriers_checked > 0
+
+    def test_versioned_traffic_verifies_at_barriers(self):
+        m = machine(protocol="DirnH1SNB,LACK")
+        install_barrier_checker(m)
+        m.run(VersionedWorkload(ops_per_node=60, blocks=6, seed=5,
+                                write_ratio=0.5, barrier_every=20))
+
+    def test_checker_reports_barrier_number(self):
+        m = machine()
+        checker = BarrierCoherenceChecker(m)
+        m.barrier.on_complete = checker
+        addr = m.heap.alloc_block(0)
+        blk = addr >> m.params.block_shift
+
+        class Corruptor(ScriptWorkload):
+            """Plants an illegal copy right before the second barrier."""
+
+            def thread(self, mach, node_id):
+                yield ("compute", 5)
+                yield ("barrier",)
+                if node_id == 1:
+                    mach.nodes[2].cache_ctrl.cache.fill(
+                        blk, CacheState.READ_WRITE)
+                    mach.nodes[3].cache_ctrl.cache.fill(
+                        blk, CacheState.READ_WRITE)
+                yield ("barrier",)
+
+        with pytest.raises(AssertionError, match="coherence violated"):
+            m.run(Corruptor({}, barriers=2))

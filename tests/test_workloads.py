@@ -1,0 +1,290 @@
+"""Workload correctness: the applications compute real, verifiable
+results, and their sharing patterns match the paper's descriptions."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.workloads.aq import ANALYTIC_RESULT, AdaptiveQuadrature
+from repro.workloads.base import det_rand, det_uniform
+from repro.workloads.evolve import Evolve
+from repro.workloads.mp3d import MP3D
+from repro.workloads.smgrid import StaticMultigrid
+from repro.workloads.tsp import TSP, held_karp, tour_distances
+from repro.workloads.water import Water
+from repro.workloads.worker import WorkerBenchmark
+
+
+def run(workload, n_nodes=16, protocol="DirnH5SNB", track=False, **overrides):
+    params = MachineParams(n_nodes=n_nodes, victim_cache_enabled=True,
+                           **overrides)
+    machine = Machine(params, protocol=protocol, track_worker_sets=track)
+    stats = machine.run(workload)
+    return machine, stats
+
+
+class TestDeterministicRandom:
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 62),
+                    min_size=1, max_size=5))
+    def test_det_rand_reproducible(self, keys):
+        assert det_rand(*keys) == det_rand(*keys)
+
+    @given(st.integers(min_value=0, max_value=2 ** 62))
+    def test_det_uniform_in_range(self, key):
+        value = det_uniform(2.0, 5.0, key)
+        assert 2.0 <= value < 5.0
+
+    def test_det_rand_spreads(self):
+        values = {det_rand(1, i) % 64 for i in range(256)}
+        assert len(values) == 64
+
+
+class TestWorker:
+    def test_exact_worker_set_sizes(self):
+        w = WorkerBenchmark(worker_set_size=4, blocks_per_writer=2,
+                            iterations=2)
+        machine, stats = run(w, track=True)
+        hist = stats.worker_set_histogram
+        # Every WORKER block is accessed by its writer plus exactly 4
+        # readers.
+        assert set(hist) == {5}
+        assert hist[5] == 16 * 2
+
+    def test_every_read_misses(self):
+        w = WorkerBenchmark(worker_set_size=4, blocks_per_writer=2,
+                            iterations=3)
+        machine, stats = run(w, protocol="DirnHNBS-")
+        # reads per iteration per node = 4 (memberships) * 2 (blocks)
+        expected_reads = 16 * 4 * 2 * 3
+        assert stats.total("loads") == expected_reads
+
+    def test_writes_send_one_invalidation_per_reader(self):
+        w = WorkerBenchmark(worker_set_size=3, blocks_per_writer=1,
+                            iterations=1)
+        machine, stats = run(w, protocol="DirnHNBS-")
+        # init writes send none (no sharers yet); the iteration writes
+        # send exactly 3 invalidations each.
+        assert stats.total("invalidations_hw") == 16 * 3
+
+    def test_worker_set_capped_at_n_minus_1(self):
+        w = WorkerBenchmark(worker_set_size=99)
+        machine, _stats = run(w, n_nodes=4)
+        assert w.worker_set_size == 3
+
+
+class TestTSP:
+    def test_held_karp_matches_brute_force(self):
+        dist = tour_distances(7, seed=3)
+        brute = min(
+            sum(dist[a][b] for a, b in zip((0,) + p, p + (0,)))
+            for p in itertools.permutations(range(1, 7))
+        )
+        assert held_karp(dist) == brute
+
+    def test_finds_optimal_tour(self):
+        w = TSP(n_cities=8, prefix_depth=2)
+        run(w, n_nodes=16)
+        assert w.best_found == w.optimal
+
+    def test_work_is_protocol_independent(self):
+        counts = set()
+        for protocol in ("DirnHNBS-", "DirnH1SNB,ACK"):
+            w = TSP(n_cities=8, prefix_depth=2)
+            run(w, protocol=protocol)
+            counts.add(w.expansions)
+        assert len(counts) == 1
+
+    def test_thrash_layout_colours_hot_blocks(self):
+        w = TSP(n_cities=8, prefix_depth=2, thrash_layout=True)
+        machine, _ = run(w, n_nodes=16)
+        hot = w.best_addr >> machine.params.block_shift
+        assert (machine.params.cache_set_of_block(hot)
+                == w._runtime_code.cache_colors[0])
+
+    def test_no_thrash_layout_avoids_conflict(self):
+        w = TSP(n_cities=8, prefix_depth=2, thrash_layout=False)
+        machine, _ = run(w, n_nodes=16)
+        hot = w.best_addr >> machine.params.block_shift
+        assert (machine.params.cache_set_of_block(hot)
+                not in w._runtime_code.cache_colors)
+
+    def test_distance_matrix_symmetric(self):
+        dist = tour_distances(9)
+        for i in range(9):
+            assert dist[i][i] == 0
+            for j in range(9):
+                assert dist[i][j] == dist[j][i]
+
+    def test_invalid_configs_rejected(self):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            TSP(n_cities=3)
+        with pytest.raises(ConfigurationError):
+            TSP(n_cities=8, prefix_depth=7)
+
+
+class TestAQ:
+    def test_integral_matches_analytic_value(self):
+        w = AdaptiveQuadrature(tolerance=0.05)
+        run(w, n_nodes=16)
+        assert w.result == pytest.approx(ANALYTIC_RESULT, abs=0.2)
+
+    def test_tighter_tolerance_is_more_accurate_and_more_work(self):
+        loose = AdaptiveQuadrature(tolerance=0.5)
+        run(loose, n_nodes=16)
+        tight = AdaptiveQuadrature(tolerance=0.02)
+        run(tight, n_nodes=16)
+        assert (abs(tight.result - ANALYTIC_RESULT)
+                <= abs(loose.result - ANALYTIC_RESULT))
+        assert tight.evaluations > loose.evaluations
+
+    def test_work_is_protocol_independent(self):
+        evals = set()
+        for protocol in ("DirnHNBS-", "DirnH0SNB,ACK"):
+            w = AdaptiveQuadrature(tolerance=0.2)
+            run(w, n_nodes=4, protocol=protocol)
+            evals.add(w.evaluations)
+        assert len(evals) == 1
+
+    def test_producer_consumer_worker_sets(self):
+        w = AdaptiveQuadrature(tolerance=0.2)
+        machine, stats = run(w, n_nodes=16, track=True)
+        hist = stats.worker_set_histogram
+        # Dominated by pairs {producer, consumer}; never wider than 2.
+        assert max(hist) <= 2
+
+
+class TestSMGRID:
+    def test_vcycles_reduce_residual(self):
+        w = StaticMultigrid(n=32, levels=3, v_cycles=2)
+        run(w, n_nodes=16)
+        assert w.final_residual < 0.7 * w.initial_residual
+
+    def test_more_cycles_reduce_further(self):
+        one = StaticMultigrid(n=32, levels=3, v_cycles=1)
+        run(one, n_nodes=16)
+        two = StaticMultigrid(n=32, levels=3, v_cycles=3)
+        run(two, n_nodes=16)
+        assert two.final_residual < one.final_residual
+
+    def test_numerics_protocol_independent(self):
+        residuals = set()
+        for protocol in ("DirnHNBS-", "DirnH1SNB,LACK"):
+            w = StaticMultigrid(n=16, levels=2, v_cycles=1)
+            run(w, n_nodes=16, protocol=protocol)
+            residuals.add(round(w.final_residual, 12))
+        assert len(residuals) == 1
+
+    def test_coarse_levels_use_fewer_nodes(self):
+        w = StaticMultigrid(n=32, levels=4)
+        machine, _ = run(w, n_nodes=16)
+        finest, coarsest = w.levels[0], w.levels[-1]
+        assert finest.active_nodes() == 16
+        assert coarsest.active_nodes() < 16
+
+    def test_invalid_configs_rejected(self):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            StaticMultigrid(n=33)
+        with pytest.raises(ConfigurationError):
+            StaticMultigrid(n=16, levels=6)
+
+
+class TestEvolve:
+    def test_walks_reach_local_maxima(self):
+        w = Evolve(dimensions=8, walks_per_node=2)
+        run(w, n_nodes=16)
+        for vertex in w.local_maxima:
+            fit = w.fitness(vertex)
+            assert all(w.fitness(nb) <= fit for nb in w.neighbours(vertex))
+
+    def test_global_best_is_a_strong_vertex(self):
+        w = Evolve(dimensions=8, walks_per_node=3)
+        run(w, n_nodes=16)
+        best_fit, best_vertex = w.global_best
+        assert best_fit == w.fitness(best_vertex)
+        # The landscape pulls toward the target: the best vertex found
+        # must be close to it.
+        distance = bin(best_vertex ^ w.target).count("1")
+        assert distance <= 2
+
+    def test_histogram_has_many_small_and_some_large_sets(self):
+        w = Evolve(dimensions=10, walks_per_node=2)
+        machine, stats = run(w, n_nodes=16, track=True)
+        hist = stats.worker_set_histogram
+        assert hist[1] > 20
+        assert max(hist) >= 8
+
+    def test_steps_protocol_independent(self):
+        steps = set()
+        for protocol in ("DirnHNBS-", "DirnH2SNB"):
+            w = Evolve(dimensions=8, walks_per_node=2)
+            run(w, n_nodes=16, protocol=protocol)
+            steps.add(w.steps)
+        assert len(steps) == 1
+
+
+class TestMP3D:
+    def test_particles_stay_in_box(self):
+        w = MP3D(n_particles=128, steps=4)
+        run(w, n_nodes=16)
+        for particle in w.particles:
+            assert 0.0 <= particle.x <= 1.0
+            assert 0.0 <= particle.y <= 1.0
+            assert 0.0 <= particle.z <= 1.0
+
+    def test_checksum_protocol_independent(self):
+        sums = set()
+        for protocol in ("DirnHNBS-", "DirnH0SNB,ACK"):
+            w = MP3D(n_particles=96, steps=2)
+            run(w, n_nodes=16, protocol=protocol)
+            sums.add(round(w.final_checksum, 9))
+        assert len(sums) == 1
+
+    def test_collisions_happen(self):
+        w = MP3D(n_particles=256, steps=3, cells_per_side=4)
+        run(w, n_nodes=16)
+        assert w.collisions > 0
+
+    def test_speed_is_preserved_by_bounces(self):
+        w = MP3D(n_particles=64, steps=5)
+        machine, _ = run(w, n_nodes=16)
+        for p in range(w.n_particles):
+            particle = w.particles[p]
+            vx0 = det_uniform(-0.04, 0.04, w.seed, p, 4)
+            assert abs(particle.vx) == pytest.approx(abs(vx0))
+
+
+class TestWater:
+    def test_momentum_conserved(self):
+        w = Water(n_molecules=24, steps=3)
+        run(w, n_nodes=16)
+        # Pairwise forces are equal and opposite; net momentum stays 0.
+        assert abs(w.final_momentum[0]) < 1e-10
+        assert abs(w.final_momentum[1]) < 1e-10
+
+    def test_positions_stay_in_box(self):
+        w = Water(n_molecules=24, steps=3)
+        run(w, n_nodes=16)
+        for mol in w.molecules:
+            assert 0.0 <= mol.x < 1.0
+            assert 0.0 <= mol.y < 1.0
+
+    def test_state_protocol_independent(self):
+        states = set()
+        for protocol in ("DirnHNBS-", "DirnH1SNB"):
+            w = Water(n_molecules=16, steps=2)
+            run(w, n_nodes=16, protocol=protocol)
+            states.add(tuple(round(m.x, 12) for m in w.molecules))
+        assert len(states) == 1
+
+    def test_molecules_widely_read_shared(self):
+        w = Water(n_molecules=16, steps=2)
+        machine, stats = run(w, n_nodes=16, track=True)
+        hist = stats.worker_set_histogram
+        # Every molecule block is read by every node.
+        assert max(hist) == 16
