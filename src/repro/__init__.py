@@ -33,6 +33,12 @@ from repro.core.spec import (
 )
 from repro.machine.machine import CodeRef, Machine
 from repro.machine.params import MachineParams
+from repro.obs import (
+    EventBus,
+    IntervalSampler,
+    LatencyRecorder,
+    TraceCollector,
+)
 from repro.sim.stats import HandlerSample, NodeStats, RunStats
 
 __version__ = "1.0.0"
@@ -44,10 +50,14 @@ __all__ = [
     "CodeRef",
     "ConfigurationError",
     "DeadlockError",
+    "EventBus",
     "HandlerSample",
+    "IntervalSampler",
+    "LatencyRecorder",
     "Machine",
     "MachineParams",
     "NodeStats",
+    "TraceCollector",
     "PAPER_SPECTRUM",
     "ProtocolSpec",
     "ProtocolSpecError",

@@ -34,7 +34,23 @@ from repro.analysis.report import format_table
 from repro.core.spec import PAPER_SPECTRUM, spec_of
 from repro.machine.machine import Machine
 from repro.machine.params import MachineParams
+from repro.obs import (
+    IntervalSampler,
+    LatencyRecorder,
+    TraceCollector,
+    chrome_trace,
+    metrics_dict,
+    write_json,
+)
 from repro.workloads.worker import WorkerBenchmark
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +74,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--invalidation-mode",
                      choices=("parallel", "sequential", "dynamic"),
                      default="parallel")
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="write a Chrome trace-event JSON (Perfetto / "
+                          "chrome://tracing) of the run")
+    run.add_argument("--metrics-out", metavar="FILE",
+                     help="write a deterministic JSON metrics dump")
+    run.add_argument("--sample-every", type=_positive_int, default=10_000,
+                     metavar="CYCLES",
+                     help="interval of the metrics time-series sampler")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one application and print its interval time-series "
+             "and latency histograms")
+    profile.add_argument("--app", choices=sorted(APPLICATIONS),
+                         default="water")
+    profile.add_argument("--protocol", default="DirnH5SNB")
+    profile.add_argument("--nodes", type=int, default=64)
+    profile.add_argument("--software", choices=("flexible", "optimized"),
+                         default="flexible")
+    profile.add_argument("--no-victim-cache", action="store_true")
+    profile.add_argument("--perfect-ifetch", action="store_true")
+    profile.add_argument("--invalidation-mode",
+                         choices=("parallel", "sequential", "dynamic"),
+                         default="parallel")
+    profile.add_argument("--sample-every", type=_positive_int, default=10_000,
+                         metavar="CYCLES")
 
     sweep = sub.add_parser("sweep",
                            help="run one app across the protocol spectrum")
@@ -96,15 +138,27 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _machine_from(args: argparse.Namespace) -> Machine:
+    """Build the machine described by run/profile command options."""
     params = MachineParams(
         n_nodes=args.nodes,
         victim_cache_enabled=not args.no_victim_cache,
         perfect_ifetch=args.perfect_ifetch,
     )
-    machine = Machine(params, protocol=args.protocol,
-                      software=args.software,
-                      invalidation_mode=args.invalidation_mode)
+    return Machine(params, protocol=args.protocol,
+                   software=args.software,
+                   invalidation_mode=args.invalidation_mode)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = _machine_from(args)
+    collector = sampler = recorder = None
+    if args.trace_out:
+        collector = TraceCollector.attach(machine)
+    if args.metrics_out:
+        sampler = IntervalSampler.attach(machine, every=args.sample_every)
+        recorder = LatencyRecorder.attach(machine)
+
     workload = APPLICATIONS[args.app]()
     stats = machine.run(workload)
     print(f"{args.app.upper()} on {args.nodes} nodes, {args.protocol} "
@@ -117,6 +171,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  invalidations   "
           f"{stats.total('invalidations_hw') + stats.total('invalidations_sw'):>12,}")
     print(f"  retries         {stats.total('retries'):>12,}")
+
+    if collector is not None:
+        write_json(args.trace_out,
+                   chrome_trace(collector, n_nodes=args.nodes))
+        print(f"  trace           {args.trace_out}")
+    if sampler is not None and recorder is not None:
+        sampler.finish(stats.run_cycles)
+        config = {
+            "app": args.app,
+            "protocol": args.protocol,
+            "nodes": args.nodes,
+            "software": args.software,
+            "invalidation_mode": args.invalidation_mode,
+        }
+        write_json(args.metrics_out,
+                   metrics_dict(stats, config=config,
+                                sampler=sampler, recorder=recorder))
+        print(f"  metrics         {args.metrics_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    machine = _machine_from(args)
+    sampler = IntervalSampler.attach(machine, every=args.sample_every)
+    recorder = LatencyRecorder.attach(machine)
+    stats = machine.run(APPLICATIONS[args.app]())
+    sampler.finish(stats.run_cycles)
+
+    interval_rows = [
+        (f"{row.start:,}", f"{row.end:,}",
+         f"{row.utilization:.1%}", f"{row.miss_rate:.2%}",
+         row.total("traps"), row.total("messages"),
+         row.total("retries"), max(row.rx_backlog, default=0))
+        for row in sampler.rows
+    ]
+    print(format_table(
+        ["From", "To", "Util", "Miss rate", "Traps", "Msgs",
+         "Retries", "Max RX queue"],
+        interval_rows,
+        title=f"{args.app.upper()} on {args.nodes} nodes, "
+              f"{args.protocol}: interval time-series "
+              f"(every {args.sample_every:,} cycles)"))
+
+    def hist_rows(hist_set):
+        return [
+            (key, hist.count, f"{hist.mean:.0f}",
+             hist.percentile(50), hist.percentile(90),
+             hist.percentile(99), hist.max)
+            for key, hist in hist_set.items()
+        ]
+
+    print()
+    headers = ["Kind", "Count", "Mean", "p50", "p90", "p99", "Max"]
+    if len(recorder.handlers):
+        print(format_table(headers, hist_rows(recorder.handlers),
+                           title="Handler latency (cycles)"))
+        print()
+    print(format_table(headers, hist_rows(recorder.stalls),
+                       title="End-to-end stall latency (cycles)"))
     return 0
 
 
@@ -188,6 +301,7 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "cost": _cmd_cost,

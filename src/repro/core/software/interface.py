@@ -36,6 +36,7 @@ from repro.core.software.extdir import (
     SoftwareDirectory,
 )
 from repro.core.spec import ProtocolSpec
+from repro.obs.events import TrapPosted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.machine.node import Node
@@ -128,6 +129,13 @@ class CoherenceInterface:
         """Queue a handler on the local processor; ``completion`` runs
         (atomically, per the interface's atomic-transition guarantee)
         when the handler finishes."""
+        obs = self.node.machine.obs
+        if obs is not None and obs.on_trap:
+            obs.trap(TrapPosted(
+                node=self.node.id, kind=kind.value,
+                at=self.node.machine.sim.now,
+                cost=cost.latency, pointers=pointers,
+            ))
         self.node.processor.post_trap(kind, cost, completion,
                                       pointers=pointers,
                                       implementation=self.implementation)

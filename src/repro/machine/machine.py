@@ -40,6 +40,7 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import HandlerSample, RunStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus
     from repro.workloads.base import Workload
 
 #: Cap on stored handler samples (counting continues past the cap).
@@ -146,6 +147,10 @@ class Machine:
         #: optional access profiler (repro.analysis.profiling)
         self.profiler = None
 
+        #: observability event bus (repro.obs); None until observe() is
+        #: called, so probe sites are a single None-check by default
+        self.obs: Optional["EventBus"] = None
+
         self._done_at: Dict[int, int] = {}
         self._ran = False
 
@@ -246,6 +251,24 @@ class Machine:
     # ------------------------------------------------------------------
     # Instrumentation hooks
     # ------------------------------------------------------------------
+
+    def observe(self) -> "EventBus":
+        """Create (or return) this machine's observability event bus.
+
+        Probe points in the engine, processors, fabric, and the software
+        handler path emit typed events to subscribers on the returned
+        bus (see :mod:`repro.obs`).  Observers read state only — they
+        never schedule events — so attaching them changes no simulated
+        cycle count; until the first subscriber appears, each probe site
+        costs a single ``None`` check.
+        """
+        if self.obs is None:
+            from repro.obs.events import EventBus
+
+            self.obs = EventBus()
+            self.fabric.obs = self.obs
+            self.sim.probe = self.obs.advance
+        return self.obs
 
     def note_grant(self, block: int, node: int,
                    write: bool = False) -> None:

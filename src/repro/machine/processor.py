@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 from repro.common.errors import WorkloadError
 from repro.common.types import AccessType, TrapKind
 from repro.core.software.costmodel import HandlerCost
+from repro.obs.events import HandlerSpan, StallSpan, UserSpan
 from repro.sim.stats import HandlerSample
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,6 +74,8 @@ class Processor:
         self._compute_started = 0
         self._compute_remaining = 0
         self._stall_started = 0
+        self._stall_kind = ""
+        self._stall_block: Optional[int] = None
         # Software context (protocol handlers serialise here).
         self.sw_busy_until = 0
         self._traps_deferred_until = 0
@@ -168,6 +171,10 @@ class Processor:
             # The software context owns the core; try again when it frees.
             self.state = ProcState.WAIT_SW
             self.node.stats.stall_cycles += self.sw_busy_until - now
+            obs = self.machine.obs
+            if obs is not None and obs.on_stall:
+                obs.stall(StallSpan(self.node.id, now, self.sw_busy_until,
+                                    "sw_wait"))
             self.sim.at(self.sw_busy_until, self._guarded(self._step))
             return
         self.state = ProcState.RUNNING
@@ -252,10 +259,15 @@ class Processor:
                 self.sim.at(now + acc, self._guarded(self._step))
                 return
 
-    def _consume(self, cycles: int) -> None:
+    def _consume(self, cycles: int,
+                 span_start: Optional[int] = None) -> None:
         if cycles:
             self.node.stats.user_cycles += cycles
             self._last_progress = self.sim.now + cycles
+            obs = self.machine.obs
+            if obs is not None and obs.on_user:
+                start = self.sim.now if span_start is None else span_start
+                obs.user(UserSpan(self.node.id, start, start + cycles))
 
     def _finish(self, at: int, acc: int) -> None:
         self._consume(acc)
@@ -292,7 +304,8 @@ class Processor:
         self.sim.at(now + remaining, self._guarded(self._finish_compute))
 
     def _finish_compute(self) -> None:
-        self._consume(self._compute_remaining)
+        self._consume(self._compute_remaining,
+                      span_start=self._compute_started)
         self._compute_remaining = 0
         self.state = ProcState.RUNNING
         self._step()
@@ -301,7 +314,8 @@ class Processor:
         """A handler arrived while computing: split the burst."""
         now = self.sim.now
         consumed = now - self._compute_started
-        self._consume(consumed if consumed > 0 else 0)
+        self._consume(consumed if consumed > 0 else 0,
+                      span_start=self._compute_started)
         self._compute_remaining -= consumed
         self._invalidate_user_events()
         self.state = ProcState.PREEMPTED
@@ -313,6 +327,9 @@ class Processor:
     def _begin_miss(self, at: int, access: AccessType, block: int) -> None:
         self.state = ProcState.STALLED
         self._stall_started = at
+        self._stall_kind = ("write" if access is AccessType.WRITE
+                            else "read")
+        self._stall_block = block
 
         def issue() -> None:
             self.node.cache_ctrl.start_miss(access, block, self._memory_done)
@@ -325,6 +342,8 @@ class Processor:
     def _begin_ifetch_miss(self, at: int, block: int) -> None:
         self.state = ProcState.STALLED
         self._stall_started = at
+        self._stall_kind = "ifetch"
+        self._stall_block = block
 
         def issue() -> None:
             self.node.cache_ctrl.start_ifetch_miss(block, self._memory_done)
@@ -337,6 +356,10 @@ class Processor:
     def _memory_done(self) -> None:
         now = self.sim.now
         self.node.stats.stall_cycles += now - self._stall_started
+        obs = self.machine.obs
+        if obs is not None and obs.on_stall:
+            obs.stall(StallSpan(self.node.id, self._stall_started, now,
+                                self._stall_kind, self._stall_block))
         self.state = ProcState.RUNNING
         self._invalidate_user_events()
         self._step()
@@ -359,6 +382,8 @@ class Processor:
     def _begin_lock(self, at: int, lock_id: int) -> None:
         self.state = ProcState.STALLED
         self._stall_started = at
+        self._stall_kind = "lock"
+        self._stall_block = None
 
         def request() -> None:
             self.machine.locks.acquire(self.node.id, lock_id,
@@ -373,6 +398,8 @@ class Processor:
                       value: object) -> None:
         self.state = ProcState.STALLED
         self._stall_started = at
+        self._stall_kind = "reduce"
+        self._stall_block = None
 
         def contribute() -> None:
             self.machine.reductions.contribute(
@@ -432,6 +459,14 @@ class Processor:
             latency=cost.latency,
             breakdown=cost.breakdown,
         ))
+        obs = self.machine.obs
+        if obs is not None and obs.on_handler:
+            obs.handler(HandlerSpan(
+                node=self.node.id, start=start,
+                end=self.sw_busy_until, kind=_sample_kind(kind),
+                implementation=implementation, pointers=pointers,
+                latency=cost.latency,
+            ))
 
         def complete() -> None:
             completion()

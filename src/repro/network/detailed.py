@@ -76,4 +76,6 @@ class DetailedFabric(Fabric):
         msg.delivered_at = deliver
         self.flits_carried += msg.size_flits
         self.sim.at(deliver, lambda m=msg: self._deliver(m))
+        if self.obs is not None:
+            self._notify(msg)
         return deliver

@@ -11,10 +11,14 @@ keeps the event count low (one event per delivery).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.network.topology import Mesh
+from repro.obs.events import MessageSent
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus
 
 
 @dataclasses.dataclass
@@ -49,6 +53,9 @@ class Fabric:
         self._receivers: Dict[int, Receiver] = {}
         self.messages_delivered = 0
         self.flits_carried = 0
+        #: observability bus (set by Machine.observe); probe sites stay
+        #: a single None-check until someone is listening
+        self.obs: Optional["EventBus"] = None
 
     def attach(self, node: int, receiver: Receiver) -> None:
         """Register the delivery callback for ``node``."""
@@ -87,7 +94,33 @@ class Fabric:
         msg.delivered_at = deliver
         self.flits_carried += msg.size_flits
         self.sim.at(deliver, lambda m=msg: self._deliver(m))
+        if self.obs is not None:
+            self._notify(msg)
         return deliver
+
+    def _notify(self, msg: Message) -> None:
+        """Emit a message probe event (repro.obs)."""
+        obs = self.obs
+        if obs is None or not obs.on_message:
+            return
+        obs.message(MessageSent(
+            src=msg.src, dst=msg.dst, kind=msg.kind,
+            size_flits=msg.size_flits, sent_at=msg.sent_at,
+            delivered_at=msg.delivered_at,
+            block=getattr(msg.payload, "block", None),
+        ))
+
+    # ------------------------------------------------------------------
+    # Introspection (read-only; used by the interval sampler)
+    # ------------------------------------------------------------------
+
+    def tx_backlog(self, node: int, now: int) -> int:
+        """Cycles of queued work at ``node``'s transmit endpoint."""
+        return max(0, self._tx_free[node] - now)
+
+    def rx_backlog(self, node: int, now: int) -> int:
+        """Cycles of queued work at ``node``'s receive endpoint."""
+        return max(0, self._rx_free[node] - now)
 
     def _deliver(self, msg: Message) -> None:
         receiver: Optional[Receiver] = self._receivers.get(msg.dst)

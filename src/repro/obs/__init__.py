@@ -1,0 +1,58 @@
+"""Unified observability layer.
+
+The paper's entire evaluation is telemetry — cycle accounting of
+software handlers (Tables 1–2), counter aggregates (Figures 2–6), and
+NWO's role as a deterministic debugging environment.  This package
+provides the machinery to *watch* a run without perturbing it:
+
+- :mod:`repro.obs.events` — a zero-cost-when-idle event bus with typed
+  probe points fired from the engine, the processor, the fabric, and
+  the software handler path;
+- :mod:`repro.obs.timeseries` — an interval sampler snapshotting
+  per-node counters every N cycles (phase behaviour inside a run);
+- :mod:`repro.obs.hist` — exact integer histograms with p50/p90/p99
+  queries over handler and end-to-end remote-access latencies;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and a deterministic metrics dump.
+
+Observers subscribe to a :class:`~repro.obs.events.EventBus` obtained
+from :meth:`Machine.observe() <repro.machine.machine.Machine.observe>`;
+probe sites are inert (a single ``None`` check) until a bus exists, and
+observers never schedule simulation events, so attaching any of them
+changes no simulated cycle count.
+"""
+
+from repro.obs.events import (
+    EventBus,
+    HandlerSpan,
+    MessageSent,
+    StallSpan,
+    TrapPosted,
+    UserSpan,
+)
+from repro.obs.hist import Histogram, HistogramSet, LatencyRecorder
+from repro.obs.timeseries import IntervalRow, IntervalSampler
+from repro.obs.export import (
+    TraceCollector,
+    chrome_trace,
+    metrics_dict,
+    write_json,
+)
+
+__all__ = [
+    "EventBus",
+    "HandlerSpan",
+    "MessageSent",
+    "StallSpan",
+    "TrapPosted",
+    "UserSpan",
+    "Histogram",
+    "HistogramSet",
+    "LatencyRecorder",
+    "IntervalRow",
+    "IntervalSampler",
+    "TraceCollector",
+    "chrome_trace",
+    "metrics_dict",
+    "write_json",
+]

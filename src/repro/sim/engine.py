@@ -26,6 +26,11 @@ class Simulator:
         self._heap: List[Event] = []
         self._running = False
         self._stopped = False
+        #: observability probe, called with the new time whenever the
+        #: clock advances to a later cycle (repro.obs time-series
+        #: sampling).  Probes read state only — they must not schedule
+        #: events — so attaching one cannot perturb the simulation.
+        self.probe: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,7 +100,10 @@ class Simulator:
                     self._now = until
                     break
                 heapq.heappop(self._heap)
+                advanced = time > self._now
                 self._now = time
+                if advanced and self.probe is not None:
+                    self.probe(time)
                 fn()
                 processed += 1
                 if max_events is not None and processed >= max_events:

@@ -78,8 +78,27 @@ class RunStats:
     # ------------------------------------------------------------------
 
     def total(self, field: str) -> int:
-        """Sum an integer counter field across nodes."""
-        return sum(getattr(ns, field) for ns in self.per_node)
+        """Sum an integer counter field across nodes.
+
+        Raises
+        ------
+        TypeError
+            If ``field`` is one of the per-kind ``Counter`` fields
+            (``traps``, ``messages_sent``); summing those silently
+            produced a merged Counter where callers expected an int.
+            Use :meth:`traps_by_kind` / :meth:`messages_by_kind` (or
+            :attr:`total_traps`) instead.
+        """
+        values = [getattr(ns, field) for ns in self.per_node]
+        for value in values:
+            if not isinstance(value, int):
+                raise TypeError(
+                    f"RunStats.total() sums integer fields, but "
+                    f"{field!r} holds {type(value).__name__}; use "
+                    f"traps_by_kind() or messages_by_kind() for "
+                    f"per-kind counters"
+                )
+        return sum(values)
 
     @property
     def total_traps(self) -> int:
@@ -123,6 +142,19 @@ class RunStats:
             if s.kind == kind and s.implementation == implementation
         ]
         return sum(vals) / len(vals) if vals else 0.0
+
+    def handler_latency_histogram(self, kind: str, implementation: str):
+        """Full latency distribution of ``kind`` handlers as a
+        :class:`repro.obs.hist.Histogram` (p50/p90/p99 queries), built
+        from the stored samples.  The mean view above survives for the
+        paper's tables; tail questions go through this."""
+        from repro.obs.hist import Histogram
+
+        hist = Histogram()
+        for s in self.handler_samples:
+            if s.kind == kind and s.implementation == implementation:
+                hist.add(s.latency)
+        return hist
 
     def median_handler_sample(
         self, kind: str, implementation: str

@@ -61,17 +61,30 @@ class ProtocolTracer:
     def __init__(self, blocks: Optional[Set[int]] = None) -> None:
         self.records: List[TraceRecord] = []
         self._filter = blocks
+        self._fabric = None
+        self._inner_send = None
+        self._wrapper = None
+        self._had_override = False
+        self._active = False
 
     @classmethod
     def attach(cls, machine: "Machine",
                blocks: Optional[Set[int]] = None) -> "ProtocolTracer":
+        """Wrap ``machine.fabric.send`` with a recording layer.
+
+        Multiple tracers may attach to the same machine: each wraps the
+        send currently installed, so all of them record.  Call
+        :meth:`detach` to stop recording; detaching in any order is
+        safe (an inner tracer whose wrapper is still referenced by an
+        outer one simply becomes a pass-through).
+        """
         tracer = cls(blocks)
         fabric = machine.fabric
-        original_send = fabric.send
+        inner_send = fabric.send
 
         def traced_send(message, extra_delay: int = 0):
-            deliver = original_send(message, extra_delay)
-            if message.kind in _TRACED:
+            deliver = inner_send(message, extra_delay)
+            if tracer._active and message.kind in _TRACED:
                 block = message.payload.block
                 if tracer._filter is None or block in tracer._filter:
                     tracer.records.append(TraceRecord(
@@ -84,8 +97,42 @@ class ProtocolTracer:
                     ))
             return deliver
 
+        tracer._fabric = fabric
+        tracer._inner_send = inner_send
+        tracer._wrapper = traced_send
+        # Whether fabric.send was already an instance-level override
+        # (e.g. an earlier tracer); if not, detach restores the
+        # pristine class method by deleting the override entirely.
+        tracer._had_override = "send" in fabric.__dict__
+        tracer._active = True
         fabric.send = traced_send  # type: ignore[method-assign]
         return tracer
+
+    @property
+    def attached(self) -> bool:
+        """True while this tracer is recording."""
+        return self._active
+
+    def detach(self) -> None:
+        """Stop recording and, when possible, unwrap ``fabric.send``.
+
+        If this tracer's wrapper is still the outermost layer it is
+        removed entirely, restoring whatever ``send`` it wrapped (the
+        original, or an earlier tracer's wrapper).  If another tracer
+        attached afterwards, the wrapper cannot be unlinked without
+        breaking the outer tracer, so it stays in place as an inert
+        pass-through.  Idempotent.
+        """
+        if not self._active:
+            return
+        self._active = False
+        fabric = self._fabric
+        if fabric is None or fabric.__dict__.get("send") is not self._wrapper:
+            return
+        if self._had_override:
+            fabric.send = self._inner_send  # type: ignore[method-assign]
+        else:
+            del fabric.__dict__["send"]  # back to the class method
 
     # ------------------------------------------------------------------
     # Queries

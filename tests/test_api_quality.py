@@ -48,6 +48,11 @@ MODULES = [
     "repro.network.detailed",
     "repro.network.fabric",
     "repro.network.topology",
+    "repro.obs",
+    "repro.obs.events",
+    "repro.obs.export",
+    "repro.obs.hist",
+    "repro.obs.timeseries",
     "repro.sim",
     "repro.sim.engine",
     "repro.sim.stats",

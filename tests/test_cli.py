@@ -39,6 +39,50 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--app", "doom"])
 
+    def test_run_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        code, out = run_cli(capsys, "run", "--app", "aq",
+                            "--nodes", "16",
+                            "--trace-out", str(trace),
+                            "--metrics-out", str(metrics))
+        assert code == 0
+        trace_doc = json.loads(trace.read_text())
+        assert trace_doc["traceEvents"]
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["schema"] == "repro-metrics/1"
+        assert metrics_doc["config"]["app"] == "aq"
+        assert metrics_doc["run"]["n_nodes"] == 16
+        assert metrics_doc["timeseries"]["rows"]
+
+    def test_metrics_are_byte_identical_across_runs(self, capsys,
+                                                    tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            run_cli(capsys, "run", "--app", "aq", "--nodes", "16",
+                    "--metrics-out", str(path))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestProfile:
+    def test_profile_prints_timeseries_and_percentiles(self, capsys):
+        code, out = run_cli(capsys, "profile", "--app", "aq",
+                            "--protocol", "DirnH2SNB", "--nodes", "16",
+                            "--sample-every", "5000")
+        assert code == 0
+        assert "interval time-series" in out
+        assert "p50" in out and "p90" in out and "p99" in out
+        assert "stall latency" in out
+
+    def test_profile_is_deterministic(self, capsys):
+        args = ("profile", "--app", "aq", "--nodes", "16",
+                "--sample-every", "5000")
+        _code, first = run_cli(capsys, *args)
+        _code, second = run_cli(capsys, *args)
+        assert first == second
+
 
 class TestWorker:
     def test_worker_table(self, capsys):

@@ -41,6 +41,21 @@ class TestRunStats:
         stats = make_stats(per_node=nodes)
         assert stats.total("loads") == 7
 
+    def test_total_rejects_counter_fields(self):
+        ns = NodeStats(node=0)
+        ns.traps["read_overflow"] = 2
+        ns.messages_sent["rreq"] = 5
+        stats = make_stats(per_node=[ns])
+        with pytest.raises(TypeError, match="traps_by_kind"):
+            stats.total("traps")
+        with pytest.raises(TypeError, match="messages_by_kind"):
+            stats.total("messages_sent")
+
+    def test_total_error_names_offending_field(self):
+        stats = make_stats(per_node=[NodeStats(node=0)])
+        with pytest.raises(TypeError, match="'traps'"):
+            stats.total("traps")
+
     def test_traps_by_kind_merges(self):
         a = NodeStats(node=0)
         a.traps["read_overflow"] = 2
@@ -94,3 +109,15 @@ class TestRunStats:
         stats = make_stats(samples=[sample(latency=v) for v in latencies])
         assert stats.mean_handler_latency("read", "flexible") == \
             pytest.approx(sum(latencies) / len(latencies))
+
+    def test_handler_latency_histogram(self):
+        stats = make_stats(samples=[
+            sample(latency=10), sample(latency=20), sample(latency=30),
+            sample(kind="write", latency=999),
+        ])
+        hist = stats.handler_latency_histogram("read", "flexible")
+        assert hist.count == 3
+        assert hist.percentile(50) == 20
+        assert hist.mean == pytest.approx(20.0)
+        empty = stats.handler_latency_histogram("ack", "flexible")
+        assert empty.count == 0

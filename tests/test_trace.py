@@ -47,6 +47,63 @@ class TestRecording:
         assert len(tracer.for_block(blk)) >= 3
 
 
+class TestDetach:
+    def test_detach_restores_original_send(self):
+        m = machine()
+        original = m.fabric.send
+        tracer = ProtocolTracer.attach(m)
+        assert m.fabric.send != original
+        assert tracer.attached
+        tracer.detach()
+        assert "send" not in m.fabric.__dict__  # class method restored
+        assert m.fabric.send == original
+        assert not tracer.attached
+
+    def test_detach_stops_recording(self):
+        m = machine()
+        tracer = ProtocolTracer.attach(m)
+        tracer.detach()
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({1: [("read", addr)]}))
+        assert tracer.records == []
+
+    def test_detach_is_idempotent(self):
+        m = machine()
+        tracer = ProtocolTracer.attach(m)
+        tracer.detach()
+        tracer.detach()
+        assert not tracer.attached
+
+    def test_chained_tracers_both_record(self):
+        m = machine()
+        first = ProtocolTracer.attach(m)
+        second = ProtocolTracer.attach(m)
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({1: [("read", addr)]}))
+        assert first.counts() == second.counts()
+        assert first.counts()["rreq"] == 1
+
+    def test_inner_detach_keeps_outer_recording(self):
+        m = machine()
+        inner = ProtocolTracer.attach(m)
+        outer = ProtocolTracer.attach(m)
+        inner.detach()  # wrapped by outer: becomes a pass-through
+        addr = m.heap.alloc_block(0)
+        m.run(ScriptWorkload({1: [("read", addr)]}))
+        assert inner.records == []
+        assert outer.counts()["rreq"] == 1
+
+    def test_lifo_detach_fully_unwinds(self):
+        m = machine()
+        original = m.fabric.send
+        inner = ProtocolTracer.attach(m)
+        outer = ProtocolTracer.attach(m)
+        outer.detach()
+        inner.detach()
+        assert "send" not in m.fabric.__dict__
+        assert m.fabric.send == original
+
+
 class TestCheckerCatchesViolations:
     def test_double_ownership_detected(self):
         tracer = ProtocolTracer()
@@ -77,6 +134,80 @@ class TestCheckerCatchesViolations:
         tracer.records = [TraceRecord(0, 5, "rreq", 3, 0, 9)]
         problems = tracer.verify()
         assert any("never got a reply" in p for p in problems)
+
+    def test_rdata_while_another_node_owns_detected(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "rdata", 0, 2, 7),
+        ]
+        problems = tracer.verify()
+        assert any("RDATA to 2" in p and "while 1 owns" in p
+                   for p in problems)
+
+    def test_ownership_released_by_writeback(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "evict_wb", 1, 0, 7),
+            TraceRecord(31, 40, "wdata", 0, 2, 7),
+        ]
+        assert tracer.verify() == []
+
+    def test_ack_preceded_by_inv_passes(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 5, "inv", 0, 3, 9),
+            TraceRecord(6, 11, "ack", 3, 0, 9),
+        ]
+        assert tracer.verify() == []
+
+    def test_excess_acks_beyond_invs_detected(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 5, "inv", 0, 3, 9),
+            TraceRecord(6, 11, "ack", 3, 0, 9),
+            TraceRecord(12, 17, "ack", 3, 0, 9),
+        ]
+        problems = tracer.verify()
+        assert any("acked more" in p for p in problems)
+
+    def test_busy_reply_answers_a_request(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 5, "wreq", 3, 0, 9),
+            TraceRecord(6, 11, "busy", 0, 3, 9),
+        ]
+        assert tracer.verify() == []
+
+    def test_all_three_rules_reported_from_one_stream(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            # rule 1: double ownership on block 7
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "wdata", 0, 2, 7),
+            # rule 2: ack with no preceding inv on block 8
+            TraceRecord(0, 5, "ack", 3, 0, 8),
+            # rule 3: unanswered request on block 9
+            TraceRecord(0, 5, "wreq", 4, 0, 9),
+        ]
+        problems = tracer.verify()
+        assert any("while 1 still owns" in p for p in problems)
+        assert any("acked more" in p for p in problems)
+        assert any("never got a reply" in p for p in problems)
+        assert len(problems) == 3
+
+    def test_violations_scoped_per_block(self):
+        tracer = ProtocolTracer()
+        tracer.records = [
+            TraceRecord(0, 10, "wdata", 0, 1, 7),
+            TraceRecord(20, 30, "wdata", 0, 2, 7),
+            # a clean stream on another block stays clean
+            TraceRecord(0, 10, "wdata", 0, 1, 8),
+        ]
+        problems = tracer.verify()
+        assert len(problems) == 1
+        assert "block 7" in problems[0]
 
 
 @pytest.mark.parametrize("protocol",
