@@ -1,0 +1,64 @@
+"""Engine hot-path microbenchmarks (PR: parallel runner + hot path).
+
+Unlike the table/figure benchmarks, these measure wall-clock throughput
+of the event loop itself, so they use real pytest-benchmark rounds
+rather than ``run_once``.  Three shapes:
+
+- **drain**: pop + dispatch over a pre-scheduled heap — isolates the
+  ``Simulator.run`` fast path (no ``until``, no ``max_events``, no
+  probe);
+- **chain**: each event schedules the next — the steady-state
+  schedule/pop/dispatch cycle;
+- **probed drain**: same as drain but with an observer probe installed,
+  exercising the slow path the fast path branches around.
+
+Record before/after numbers in ``docs/performance.md`` when touching
+``Simulator.run`` or the ``__slots__`` message/payload classes.
+"""
+
+from repro.sim.engine import Simulator
+
+N_EVENTS = 50_000
+
+
+def _drain(probe=None):
+    sim = Simulator()
+    if probe is not None:
+        sim.probe = probe
+    noop = lambda: None  # noqa: E731
+    for t in range(N_EVENTS):
+        sim.at(t, noop)
+    sim.run()
+    return sim.now
+
+
+def _chain():
+    sim = Simulator()
+    remaining = [N_EVENTS]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.after(1, tick)
+
+    sim.at(0, tick)
+    sim.run()
+    return sim.now
+
+
+def test_engine_drain(benchmark):
+    """Fast-path throughput: pop + dispatch of pre-scheduled events."""
+    assert benchmark(_drain) == N_EVENTS - 1
+
+
+def test_engine_chain(benchmark):
+    """Steady-state throughput: schedule + pop + dispatch per event."""
+    assert benchmark(_chain) == N_EVENTS - 1
+
+
+def test_engine_drain_with_probe(benchmark):
+    """Slow-path throughput with an observer probe installed."""
+    seen = []
+    result = benchmark(_drain, probe=lambda t: seen.append(t))
+    assert result == N_EVENTS - 1
+    assert seen  # the probe really ran

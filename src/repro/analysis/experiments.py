@@ -1,19 +1,43 @@
 """Experiment drivers: one function per table/figure of the paper.
 
-Each driver builds machines, runs workloads across the protocol spectrum,
-and returns plain data structures; the ``benchmarks/`` suite formats them
-into the paper's tables and figures, and ``EXPERIMENTS.md`` records the
-outcomes.  Problem sizes are the calibrated defaults from the workload
-classes; tests pass smaller sizes through the driver arguments.
+Each driver works in two phases (the plan/collect shape):
+
+- a ``*_plan()`` function enumerates the :class:`~repro.exec.jobs.SimJob`
+  specs the table or figure needs — the whole sweep as a flat job list,
+  with nothing simulated yet;
+- the driver hands the plan to a :class:`~repro.exec.pool.JobRunner`
+  (callers pass ``runner=`` to share one pool + result cache across
+  drivers; the default is an in-process serial runner) and assembles its
+  result structure from the returned ``{job_key: RunStats}`` map.
+
+Because jobs are keyed by canonical spec, duplicate configurations —
+the full-map baselines shared between figures, the WORKER runs shared
+by Tables 1 and 2 — coalesce before any simulation runs, and the
+assembled output is identical for any worker count.
+
+The ``benchmarks/`` suite formats driver results into the paper's
+tables and figures, and ``EXPERIMENTS.md`` records the outcomes.
+Problem sizes are the calibrated defaults from the workload classes;
+tests pass smaller sizes through the driver arguments.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 
+from repro.exec.jobs import SimJob, job_key, make_job
+from repro.exec.pool import JobRunner
 from repro.machine.machine import Machine
 from repro.machine.params import MachineParams
 from repro.sim.stats import RunStats
@@ -69,23 +93,58 @@ APPLICATIONS: "OrderedDict[str, WorkloadFactory]" = OrderedDict(
 def run_one(
     workload: Workload,
     protocol: str,
-    n_nodes: int = 64,
-    victim_cache: bool = True,
-    perfect_ifetch: bool = False,
+    n_nodes: Optional[int] = None,
+    victim_cache: Optional[bool] = None,
+    perfect_ifetch: Optional[bool] = None,
     software: str = "flexible",
     track_worker_sets: bool = False,
     params: Optional[MachineParams] = None,
 ) -> RunStats:
-    """Run one workload on a fresh machine and return its statistics."""
-    if params is None:
+    """Run one workload on a fresh machine and return its statistics.
+
+    Configure the machine either with an explicit ``params`` or with the
+    shorthand trio ``n_nodes`` (default 64) / ``victim_cache`` (default
+    True) / ``perfect_ifetch`` (default False) — not both.  Passing
+    ``params`` together with any of the shorthands raises
+    :class:`ValueError`: the shorthands used to be silently ignored,
+    which made ``run_one(w, p, n_nodes=16, params=my_params)`` run on
+    ``my_params.n_nodes`` nodes without a whisper.
+    """
+    if params is not None:
+        conflicting = [
+            name
+            for name, value in (
+                ("n_nodes", n_nodes),
+                ("victim_cache", victim_cache),
+                ("perfect_ifetch", perfect_ifetch),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ValueError(
+                f"run_one() got both params= and "
+                f"{', '.join(conflicting)}; pass machine configuration "
+                f"one way or the other"
+            )
+    else:
         params = MachineParams(
-            n_nodes=n_nodes,
-            victim_cache_enabled=victim_cache,
-            perfect_ifetch=perfect_ifetch,
+            n_nodes=64 if n_nodes is None else n_nodes,
+            victim_cache_enabled=(True if victim_cache is None
+                                  else victim_cache),
+            perfect_ifetch=bool(perfect_ifetch),
         )
     machine = Machine(params, protocol=protocol, software=software,
                       track_worker_sets=track_worker_sets)
     return machine.run(workload)
+
+
+def _run_jobs(plan: Sequence[SimJob],
+              runner: Optional[JobRunner]) -> Dict[str, RunStats]:
+    """Execute a driver's plan on ``runner`` (serial in-process when
+    the caller did not supply one)."""
+    if runner is None:
+        runner = JobRunner(jobs=1)
+    return runner.run(plan)
 
 
 def protocol_sweep(
@@ -94,15 +153,19 @@ def protocol_sweep(
     n_nodes: int = 64,
     victim_cache: bool = True,
     perfect_ifetch: bool = False,
+    runner: Optional[JobRunner] = None,
 ) -> "OrderedDict[str, RunStats]":
     """Run the same workload configuration across several protocols."""
-    results: "OrderedDict[str, RunStats]" = OrderedDict()
-    for protocol in protocols:
-        results[protocol] = run_one(
-            factory(), protocol, n_nodes=n_nodes,
-            victim_cache=victim_cache, perfect_ifetch=perfect_ifetch,
-        )
-    return results
+    jobs = [
+        make_job(factory, protocol=protocol, n_nodes=n_nodes,
+                 victim_cache=victim_cache, perfect_ifetch=perfect_ifetch)
+        for protocol in protocols
+    ]
+    results = _run_jobs(jobs, runner)
+    return OrderedDict(
+        (protocol, results[job_key(job)])
+        for protocol, job in zip(protocols, jobs)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -118,21 +181,46 @@ class Table1Row:
     asm_write: float
 
 
+def _worker_job(size: int, protocol: str, n_nodes: int, iterations: int,
+                software: str = "flexible") -> SimJob:
+    """A WORKER run as the Section 4/5 studies configure it (no victim
+    cache, so directory behaviour is isolated)."""
+    return make_job(
+        WorkerBenchmark,
+        {"worker_set_size": size, "iterations": iterations},
+        protocol=protocol, n_nodes=n_nodes, victim_cache=False,
+        software=software,
+    )
+
+
+def table1_plan(
+    readers: Sequence[int] = (8, 12, 16),
+    n_nodes: int = 16,
+    iterations: int = 3,
+) -> List[SimJob]:
+    """Jobs for Table 1: WORKER under both software implementations,
+    one pair per reader count."""
+    return [
+        _worker_job(r, "DirnH5SNB", n_nodes, iterations, software)
+        for r in readers
+        for software in ("flexible", "optimized")
+    ]
+
+
 def table1_handler_latencies(
     readers: Sequence[int] = (8, 12, 16),
     n_nodes: int = 16,
     iterations: int = 3,
+    runner: Optional[JobRunner] = None,
 ) -> List[Table1Row]:
     """Average DirnH5SNB handler latencies measured from WORKER runs."""
+    results = _run_jobs(table1_plan(readers, n_nodes, iterations), runner)
     rows = []
     for r in readers:
         means: Dict[Tuple[str, str], float] = {}
         for software in ("flexible", "optimized"):
-            stats = run_one(
-                WorkerBenchmark(worker_set_size=r, iterations=iterations),
-                "DirnH5SNB", n_nodes=n_nodes, victim_cache=False,
-                software=software,
-            )
+            stats = results[job_key(
+                _worker_job(r, "DirnH5SNB", n_nodes, iterations, software))]
             means[("read", software)] = stats.mean_handler_latency(
                 "read", software)
             means[("write", software)] = stats.mean_handler_latency(
@@ -151,18 +239,31 @@ def table1_handler_latencies(
 # Table 2: cycle breakdown of median handlers (8 readers, 1 writer)
 # ----------------------------------------------------------------------
 
+def table2_plan(n_nodes: int = 16, readers: int = 8,
+                iterations: int = 3) -> List[SimJob]:
+    """Jobs for Table 2 (shared with Table 1's when sizes align)."""
+    return [
+        _worker_job(readers, "DirnH5SNB", n_nodes, iterations, software)
+        for software in ("flexible", "optimized")
+    ]
+
+
 def table2_breakdowns(n_nodes: int = 16, readers: int = 8,
-                      iterations: int = 3) -> Dict[Tuple[str, str],
-                                                   Dict[str, int]]:
+                      iterations: int = 3,
+                      runner: Optional[JobRunner] = None,
+                      ) -> Dict[Tuple[str, str], Dict[str, int]]:
     """Median read/write handler activity breakdowns for both software
-    implementations, keyed by (request, implementation)."""
+    implementations, keyed by (request, implementation).
+
+    Shares its WORKER runs with Table 1 when both drivers use the same
+    runner (the specs coalesce by job key).
+    """
+    results = _run_jobs(table2_plan(n_nodes, readers, iterations), runner)
     out: Dict[Tuple[str, str], Dict[str, int]] = {}
     for software in ("flexible", "optimized"):
-        stats = run_one(
-            WorkerBenchmark(worker_set_size=readers, iterations=iterations),
-            "DirnH5SNB", n_nodes=n_nodes, victim_cache=False,
-            software=software,
-        )
+        stats = results[job_key(
+            _worker_job(readers, "DirnH5SNB", n_nodes, iterations,
+                        software))]
         for request in ("read", "write"):
             sample = stats.median_handler_sample(request, software)
             if sample is not None:
@@ -193,13 +294,25 @@ APP_LANGUAGES = {
 }
 
 
-def table3_applications(n_nodes: int = 64) -> List[Table3Row]:
+def table3_plan(n_nodes: int = 64) -> List[SimJob]:
+    """Jobs for Table 3: every application on the full-map machine."""
+    return [
+        make_job(factory, protocol="DirnHNBS-", n_nodes=n_nodes)
+        for factory in APPLICATIONS.values()
+    ]
+
+
+def table3_applications(
+    n_nodes: int = 64,
+    runner: Optional[JobRunner] = None,
+) -> List[Table3Row]:
     """Application characteristics with measured sequential times."""
+    results = _run_jobs(table3_plan(n_nodes), runner)
     rows = []
     for name, factory in APPLICATIONS.items():
-        workload = factory()
-        stats = run_one(workload, "DirnHNBS-", n_nodes=n_nodes)
-        size = _workload_size(workload)
+        stats = results[job_key(
+            make_job(factory, protocol="DirnHNBS-", n_nodes=n_nodes))]
+        size = _workload_size(factory())
         rows.append(Table3Row(
             name=name,
             language=APP_LANGUAGES[name],
@@ -229,25 +342,40 @@ def _workload_size(workload: Workload) -> str:
 # Figure 2: WORKER run-time ratio to full-map vs worker-set size
 # ----------------------------------------------------------------------
 
+def fig2_plan(
+    sizes: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
+    protocols: Sequence[str] = FIGURE2_PROTOCOLS,
+    n_nodes: int = 16,
+    iterations: int = 4,
+) -> List[SimJob]:
+    """Jobs for Figure 2: the full-map baseline plus every protocol,
+    per worker-set size."""
+    jobs = []
+    for size in sizes:
+        jobs.append(_worker_job(size, "DirnHNBS-", n_nodes, iterations))
+        for protocol in protocols:
+            jobs.append(_worker_job(size, protocol, n_nodes, iterations))
+    return jobs
+
+
 def fig2_worker_ratios(
     sizes: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
     protocols: Sequence[str] = FIGURE2_PROTOCOLS,
     n_nodes: int = 16,
     iterations: int = 4,
+    runner: Optional[JobRunner] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Run-time of each protocol normalised to full-map, per worker-set
     size (the paper's Figure 2 curves)."""
+    results = _run_jobs(fig2_plan(sizes, protocols, n_nodes, iterations),
+                        runner)
     curves: Dict[str, List[Tuple[int, float]]] = {p: [] for p in protocols}
     for size in sizes:
-        base = run_one(
-            WorkerBenchmark(worker_set_size=size, iterations=iterations),
-            "DirnHNBS-", n_nodes=n_nodes, victim_cache=False,
-        ).run_cycles
+        base = results[job_key(
+            _worker_job(size, "DirnHNBS-", n_nodes, iterations))].run_cycles
         for protocol in protocols:
-            cycles = run_one(
-                WorkerBenchmark(worker_set_size=size, iterations=iterations),
-                protocol, n_nodes=n_nodes, victim_cache=False,
-            ).run_cycles
+            cycles = results[job_key(
+                _worker_job(size, protocol, n_nodes, iterations))].run_cycles
             curves[protocol].append((size, cycles / base))
     return curves
 
@@ -256,21 +384,40 @@ def fig2_worker_ratios(
 # Figure 3: TSP detailed analysis (base / perfect ifetch / victim cache)
 # ----------------------------------------------------------------------
 
+#: The three machine configurations of Figure 3.
+_FIG3_CONFIGS: Tuple[Tuple[str, Dict[str, bool]], ...] = (
+    ("base", dict(victim_cache=False, perfect_ifetch=False)),
+    ("perfect ifetch", dict(victim_cache=False, perfect_ifetch=True)),
+    ("victim cache", dict(victim_cache=True, perfect_ifetch=False)),
+)
+
+
+def fig3_plan(
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 64,
+) -> List[SimJob]:
+    """Jobs for Figure 3: TSP under the three machine configurations."""
+    return [
+        make_job(TSP, protocol=protocol, n_nodes=n_nodes, **kwargs)
+        for _label, kwargs in _FIG3_CONFIGS
+        for protocol in protocols
+    ]
+
+
 def fig3_tsp_detail(
     protocols: Sequence[str] = FIGURE4_PROTOCOLS,
     n_nodes: int = 64,
+    runner: Optional[JobRunner] = None,
 ) -> Dict[str, "OrderedDict[str, float]"]:
     """TSP speedups under the three Figure 3 configurations."""
+    results = _run_jobs(fig3_plan(protocols, n_nodes), runner)
     out: Dict[str, "OrderedDict[str, float]"] = {}
-    configs = (
-        ("base", dict(victim_cache=False, perfect_ifetch=False)),
-        ("perfect ifetch", dict(victim_cache=False, perfect_ifetch=True)),
-        ("victim cache", dict(victim_cache=True, perfect_ifetch=False)),
-    )
-    for label, kwargs in configs:
+    for label, kwargs in _FIG3_CONFIGS:
         column: "OrderedDict[str, float]" = OrderedDict()
         for protocol in protocols:
-            stats = run_one(TSP(), protocol, n_nodes=n_nodes, **kwargs)
+            stats = results[job_key(
+                make_job(TSP, protocol=protocol, n_nodes=n_nodes,
+                         **kwargs))]
             column[protocol] = stats.speedup
         out[label] = column
     return out
@@ -280,20 +427,37 @@ def fig3_tsp_detail(
 # Figure 4: application speedups across the spectrum
 # ----------------------------------------------------------------------
 
+def fig4_plan(
+    apps: Optional[Sequence[str]] = None,
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 64,
+) -> List[SimJob]:
+    """Jobs for Figure 4: each chosen application across the spectrum."""
+    chosen = list(APPLICATIONS) if apps is None else list(apps)
+    return [
+        make_job(APPLICATIONS[name], protocol=protocol, n_nodes=n_nodes)
+        for name in chosen
+        for protocol in protocols
+    ]
+
+
 def fig4_application_speedups(
     apps: Optional[Sequence[str]] = None,
     protocols: Sequence[str] = FIGURE4_PROTOCOLS,
     n_nodes: int = 64,
+    runner: Optional[JobRunner] = None,
 ) -> "OrderedDict[str, OrderedDict[str, float]]":
     """Speedup of each application per protocol (victim caching on, as
     the paper does for everything after the TSP study)."""
+    results = _run_jobs(fig4_plan(apps, protocols, n_nodes), runner)
     chosen = list(APPLICATIONS) if apps is None else list(apps)
     out: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
     for name in chosen:
-        factory = APPLICATIONS[name]
         column: "OrderedDict[str, float]" = OrderedDict()
         for protocol in protocols:
-            stats = run_one(factory(), protocol, n_nodes=n_nodes)
+            stats = results[job_key(
+                make_job(APPLICATIONS[name], protocol=protocol,
+                         n_nodes=n_nodes))]
             column[protocol] = stats.speedup
         out[name] = column
     return out
@@ -303,9 +467,22 @@ def fig4_application_speedups(
 # Figure 5: TSP on 256 nodes
 # ----------------------------------------------------------------------
 
+def fig5_plan(
+    protocols: Sequence[str] = FIGURE4_PROTOCOLS,
+    n_nodes: int = 256,
+) -> List[SimJob]:
+    """Jobs for Figure 5: the scaled 256-node TSP per protocol."""
+    return [
+        make_job(TSP, {"n_cities": 13, "prefix_depth": 4},
+                 protocol=protocol, n_nodes=n_nodes)
+        for protocol in protocols
+    ]
+
+
 def fig5_tsp_256(
     protocols: Sequence[str] = FIGURE4_PROTOCOLS,
     n_nodes: int = 256,
+    runner: Optional[JobRunner] = None,
 ) -> "OrderedDict[str, float]":
     """TSP speedups on a 256-node machine with victim caching.
 
@@ -314,11 +491,11 @@ def fig5_tsp_256(
     enough subtrees each for the start-up transient to amortise — the
     paper's billion-cycle run gets that for free.
     """
+    jobs = fig5_plan(protocols, n_nodes)
+    results = _run_jobs(jobs, runner)
     out: "OrderedDict[str, float]" = OrderedDict()
-    for protocol in protocols:
-        stats = run_one(TSP(n_cities=13, prefix_depth=4), protocol,
-                        n_nodes=n_nodes)
-        out[protocol] = stats.speedup
+    for protocol, job in zip(protocols, jobs):
+        out[protocol] = results[job_key(job)].speedup
     return out
 
 
@@ -326,10 +503,21 @@ def fig5_tsp_256(
 # Figure 6: EVOLVE worker-set histogram
 # ----------------------------------------------------------------------
 
-def fig6_evolve_worker_sets(n_nodes: int = 64) -> Mapping[int, int]:
+def fig6_plan(n_nodes: int = 64) -> List[SimJob]:
+    """The single worker-set-tracking EVOLVE job of Figure 6."""
+    return [
+        make_job(Evolve, protocol="DirnHNBS-", n_nodes=n_nodes,
+                 track_worker_sets=True)
+    ]
+
+
+def fig6_evolve_worker_sets(
+    n_nodes: int = 64,
+    runner: Optional[JobRunner] = None,
+) -> Mapping[int, int]:
     """Histogram of worker-set sizes at the end of an EVOLVE run."""
-    stats = run_one(Evolve(), "DirnHNBS-", n_nodes=n_nodes,
-                    track_worker_sets=True)
+    (job,) = fig6_plan(n_nodes)
+    stats = _run_jobs([job], runner)[job_key(job)]
     assert stats.worker_set_histogram is not None
     return stats.worker_set_histogram
 

@@ -7,9 +7,11 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --app tsp --nodes 64
     python -m repro worker --size 8 --nodes 16
     python -m repro cost --nodes 64
+    python -m repro experiments --jobs auto
 
 Every command is deterministic: running it twice prints identical
-numbers.
+numbers — and for ``experiments``, identical output for any ``--jobs``
+value.
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ from repro.analysis.experiments import (
     run_one,
 )
 from repro.analysis.report import format_table
+from repro.analysis.reportgen import write_experiments_md
+from repro.exec import DEFAULT_CACHE_DIR, JobRunner, ResultCache
 from repro.core.spec import PAPER_SPECTRUM, spec_of
 from repro.machine.machine import Machine
 from repro.machine.params import MachineParams
@@ -119,6 +123,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cost = sub.add_parser("cost", help="directory cost analysis")
     cost.add_argument("--nodes", type=int, default=64)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate EXPERIMENTS.md (parallel runner + result cache)")
+    experiments.add_argument("--out", "-o", default="EXPERIMENTS.md",
+                             metavar="FILE",
+                             help="output path (default EXPERIMENTS.md)")
+    experiments.add_argument("--jobs", default="1", metavar="N",
+                             help="worker processes: a count or 'auto' "
+                                  "(default 1 = in-process serial)")
+    experiments.add_argument("--quick", action="store_true",
+                             help="CI-gate problem sizes (seconds, not "
+                                  "minutes; not the reproduction record)")
+    experiments.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                             metavar="DIR",
+                             help="result cache directory "
+                                  f"(default {DEFAULT_CACHE_DIR})")
+    experiments.add_argument("--no-cache", action="store_true",
+                             help="disable the on-disk result cache")
 
     return parser
 
@@ -298,6 +321,33 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    try:
+        runner = JobRunner(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(args.cache_dir),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    preset = "quick" if args.quick else "full"
+    print(f"regenerating {args.out} ({preset} preset, "
+          f"{runner.n_workers} worker"
+          f"{'' if runner.n_workers == 1 else 's'})", flush=True)
+    write_experiments_md(
+        args.out, runner=runner, preset=preset,
+        progress=lambda line: print(line, flush=True),
+    )
+    cache = runner.cache
+    cache_note = ("cache off" if cache is None
+                  else f"{cache.hits} cache hit"
+                       f"{'' if cache.hits == 1 else 's'}")
+    print(f"wrote {args.out}: {runner.jobs_executed} jobs run, "
+          f"{runner.jobs_deduplicated + runner.memo_hits} deduplicated, "
+          f"{cache_note}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -305,6 +355,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "cost": _cmd_cost,
+    "experiments": _cmd_experiments,
 }
 
 

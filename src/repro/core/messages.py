@@ -8,7 +8,6 @@ messages carry ``header_flits``; data-bearing messages additionally carry
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Optional
 
 from repro.common.types import BlockId, NodeId
@@ -39,16 +38,33 @@ DATA_BEARING = frozenset({RDATA, WDATA, EVICT_WB, FETCH_DATA})
 REQUESTS = frozenset({RREQ, WREQ})
 
 
-@dataclasses.dataclass
 class ProtoPayload:
     """Payload of a coherence message.
 
     ``requester`` identifies the node the home node is acting for; for
     request messages it equals the message source.
+
+    Allocated once per coherence message (a hot path), so it is a
+    ``__slots__`` holder instead of a dataclass — no per-instance
+    ``__dict__``, cheaper construction.
     """
 
-    block: BlockId
-    requester: Optional[NodeId] = None
+    __slots__ = ("block", "requester")
+
+    def __init__(self, block: BlockId,
+                 requester: Optional[NodeId] = None) -> None:
+        self.block = block
+        self.requester = requester
+
+    def __repr__(self) -> str:
+        return (f"ProtoPayload(block={self.block!r}, "
+                f"requester={self.requester!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProtoPayload):
+            return NotImplemented
+        return (self.block == other.block
+                and self.requester == other.requester)
 
 
 def message_size(kind: str, header_flits: int, data_flits: int) -> int:

@@ -39,6 +39,12 @@ from repro.common.errors import ConfigurationError
 FLEXIBLE = "flexible"
 OPTIMIZED = "optimized"
 
+#: Version of the handler cost model.  Bump whenever any fitted cost
+#: below changes: the on-disk experiment result cache (repro.exec.cache)
+#: mixes this into its keys, so stale cached RunStats are never reused
+#: across cost-model revisions.
+COST_MODEL_VERSION = 1
+
 #: Activity names, in Table 2's row order.
 TABLE2_ACTIVITIES = (
     "trap dispatch",

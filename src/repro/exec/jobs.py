@@ -1,0 +1,151 @@
+"""Simulation job specs: the unit of work of the parallel runner.
+
+A :class:`SimJob` is a *pure description* of one simulation — workload
+class and constructor kwargs, protocol name, machine parameters, and
+software implementation — with no live objects attached.  That buys
+three things at once:
+
+- **Planning**: experiment drivers enumerate their jobs up front, so a
+  whole sweep is visible as a flat list and duplicate configurations
+  (e.g. the full-map baseline that several figures share) coalesce
+  before any simulation runs.
+- **Parallelism**: a spec pickles cheaply, so jobs fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` worker pool.
+- **Caching**: a spec has a canonical JSON form and therefore a stable
+  hash, which keys the on-disk result cache (:mod:`repro.exec.cache`).
+
+Because the simulator is deterministic, a job's spec fully determines
+its :class:`~repro.sim.stats.RunStats`; two jobs with equal keys are the
+*same* experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from repro.machine.params import MachineParams
+from repro.sim.stats import RunStats
+from repro.workloads.base import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: ``workload_cls(**kwargs)`` on a machine.
+
+    ``workload_kwargs`` is a sorted tuple of ``(name, value)`` pairs —
+    not a dict — so the spec is hashable and its canonical form does not
+    depend on keyword order at the call site.  Build jobs with
+    :func:`make_job`, which normalises the kwargs and machine
+    parameters.
+    """
+
+    workload_cls: Type[Workload]
+    workload_kwargs: Tuple[Tuple[str, Any], ...]
+    protocol: str
+    params: MachineParams
+    software: str = "flexible"
+    track_worker_sets: bool = False
+
+    def build_workload(self) -> Workload:
+        return self.workload_cls(**dict(self.workload_kwargs))
+
+
+def make_job(
+    workload_cls: Type[Workload],
+    workload_kwargs: Optional[Mapping[str, Any]] = None,
+    *,
+    protocol: str,
+    params: Optional[MachineParams] = None,
+    n_nodes: int = 64,
+    victim_cache: bool = True,
+    perfect_ifetch: bool = False,
+    software: str = "flexible",
+    track_worker_sets: bool = False,
+) -> SimJob:
+    """Build a :class:`SimJob`, normalising kwargs and machine params.
+
+    Either pass a full ``params`` or the common shorthand trio
+    (``n_nodes`` / ``victim_cache`` / ``perfect_ifetch``), mirroring
+    :func:`repro.analysis.experiments.run_one`.
+    """
+    if params is None:
+        params = MachineParams(
+            n_nodes=n_nodes,
+            victim_cache_enabled=victim_cache,
+            perfect_ifetch=perfect_ifetch,
+        )
+    normalized = tuple(sorted((workload_kwargs or {}).items()))
+    return SimJob(
+        workload_cls=workload_cls,
+        workload_kwargs=normalized,
+        protocol=protocol,
+        params=params,
+        software=software,
+        track_worker_sets=track_worker_sets,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical form and keys
+# ----------------------------------------------------------------------
+
+def canonical_dict(job: SimJob) -> Dict[str, Any]:
+    """The spec as a plain sorted-key-friendly dict.
+
+    Workload classes are named by ``module:qualname`` (stable across
+    processes); machine parameters expand to every field so *any*
+    parameter change produces a different canonical form.
+    """
+    cls = job.workload_cls
+    return {
+        "workload": f"{cls.__module__}:{cls.__qualname__}",
+        "workload_kwargs": dict(job.workload_kwargs),
+        "protocol": job.protocol,
+        "params": dataclasses.asdict(job.params),
+        "software": job.software,
+        "track_worker_sets": job.track_worker_sets,
+    }
+
+
+def canonical_json(job: SimJob) -> str:
+    """Deterministic JSON encoding of :func:`canonical_dict`."""
+    return json.dumps(canonical_dict(job), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def job_key(job: SimJob) -> str:
+    """Stable identifier of a job spec.
+
+    Two call sites that describe the same experiment — regardless of
+    keyword order or which driver built the spec — get the same key, so
+    result maps deduplicate and cache lookups are exact.  The key is
+    readable (workload and protocol up front) with a canonical-form
+    digest for the rest.
+    """
+    digest = hashlib.sha256(canonical_json(job).encode("utf-8")).hexdigest()
+    return (f"{job.workload_cls.__name__.lower()}"
+            f":{job.protocol}:{digest[:16]}")
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def execute_job(job: SimJob) -> RunStats:
+    """Run one job to completion on a fresh machine.
+
+    Module-level (not a closure) so worker processes can unpickle and
+    call it directly.
+    """
+    from repro.machine.machine import Machine
+
+    machine = Machine(
+        job.params,
+        protocol=job.protocol,
+        software=job.software,
+        track_worker_sets=job.track_worker_sets,
+    )
+    return machine.run(job.build_workload())

@@ -1,0 +1,153 @@
+"""Deterministic parallel job runner.
+
+:class:`JobRunner` takes a flat plan of :class:`~repro.exec.jobs.SimJob`
+specs and returns ``{job_key: RunStats}``.  The contract that makes
+parallelism safe for a reproduction pipeline:
+
+**The result map is a pure function of the plan.**  Jobs are
+deduplicated by key before anything runs, results are keyed by spec (not
+by completion order), and every simulation is itself deterministic — so
+the map is identical whether it was computed serially, by eight worker
+processes finishing in any order, or straight from the on-disk cache.
+Drivers then assemble tables and figures by looking keys up in plan
+order, which keeps rendered output byte-identical for any ``--jobs``
+value.
+
+``jobs=1`` runs everything in-process (no executor, no pickling) — the
+debugging-friendly serial fallback.  ``jobs="auto"`` uses one worker per
+CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SimJob, execute_job, job_key
+from repro.sim.stats import RunStats
+
+JobsSpec = Union[int, str]
+
+
+def resolve_jobs(value: JobsSpec) -> int:
+    """Normalise a ``--jobs`` value: ``"auto"`` -> CPU count, else int.
+
+    Raises :class:`ValueError` for zero, negatives, and junk.
+    """
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return os.cpu_count() or 1
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"--jobs expects a positive integer or 'auto', got {text!r}"
+            ) from None
+    if value < 1:
+        raise ValueError(f"--jobs must be >= 1, got {value}")
+    return value
+
+
+class JobRunner:
+    """Executes job plans with dedup, caching, and a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count: an int, or ``"auto"`` for the CPU count.  ``1``
+        (the default) runs jobs in-process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable disk caching.
+        Results are also memoised in-process for the runner's lifetime,
+        so drivers sharing one runner never repeat a configuration even
+        with the disk cache off.
+    """
+
+    def __init__(self, jobs: JobsSpec = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.n_workers = resolve_jobs(jobs)
+        self.cache = cache
+        self._memo: Dict[str, RunStats] = {}
+        self.jobs_executed = 0
+        self.jobs_deduplicated = 0
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, plan: Sequence[SimJob]) -> Dict[str, RunStats]:
+        """Run ``plan`` and return ``{job_key: RunStats}``.
+
+        Duplicate specs run once; cached results (memo or disk) are not
+        re-run.  The returned map covers every job in the plan.
+        """
+        unique: "OrderedDict[str, SimJob]" = OrderedDict()
+        for job in plan:
+            key = job_key(job)
+            if key in unique:
+                self.jobs_deduplicated += 1
+            else:
+                unique[key] = job
+
+        results: Dict[str, RunStats] = {}
+        pending: "OrderedDict[str, SimJob]" = OrderedDict()
+        for key, job in unique.items():
+            memoized = self._memo.get(key)
+            if memoized is not None:
+                self.memo_hits += 1
+                results[key] = memoized
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(job)
+                if cached is not None:
+                    self._memo[key] = cached
+                    results[key] = cached
+                    continue
+            pending[key] = job
+
+        if pending:
+            if self.n_workers == 1 or len(pending) == 1:
+                fresh = self._run_serial(pending)
+            else:
+                fresh = self._run_pool(pending)
+            for key, stats in fresh.items():
+                self._memo[key] = stats
+                results[key] = stats
+                if self.cache is not None:
+                    self.cache.put(pending[key], stats)
+            self.jobs_executed += len(fresh)
+        return results
+
+    def _run_serial(
+        self, pending: "OrderedDict[str, SimJob]"
+    ) -> Dict[str, RunStats]:
+        return {key: execute_job(job) for key, job in pending.items()}
+
+    def _run_pool(
+        self, pending: "OrderedDict[str, SimJob]"
+    ) -> Dict[str, RunStats]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.n_workers, len(pending))
+        keys: List[str] = list(pending)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                key: executor.submit(execute_job, pending[key])
+                for key in keys
+            }
+            # Collect in plan order; completion order is irrelevant
+            # because results are keyed by spec.
+            return {key: futures[key].result() for key in keys}
+
+
+def run_jobs(
+    plan: Sequence[SimJob],
+    jobs: JobsSpec = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, RunStats]:
+    """One-shot convenience wrapper around :class:`JobRunner`."""
+    return JobRunner(jobs=jobs, cache=cache).run(plan)

@@ -92,27 +92,48 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
-        processed = 0
+        # Hoist the heap and heappop into locals: every simulated cycle
+        # of every run funnels through this loop, and the attribute
+        # loads dominate its overhead.  The heap *list* is mutated in
+        # place by at()/heappush, so the local alias stays valid while
+        # events schedule more events; _stopped must be re-read each
+        # iteration because stop() flips it mid-loop.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                time, _seq, fn = self._heap[0]
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._heap)
-                advanced = time > self._now
-                self._now = time
-                if advanced and self.probe is not None:
-                    self.probe(time)
-                fn()
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} at cycle {self._now}"
-                    )
+            if until is None and max_events is None and self.probe is None:
+                # No cycle limit, no event budget, no observer: the
+                # common case (every experiment driver run) takes the
+                # tight loop with no per-event limit or probe checks.
+                while heap and not self._stopped:
+                    event = pop(heap)
+                    self._now = event[0]
+                    event[2]()
             else:
-                if not self._heap and idle_check is not None:
-                    idle_check()
+                processed = 0
+                probe = self.probe
+                while heap and not self._stopped:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    fn = pop(heap)[2]
+                    if probe is not None and time > self._now:
+                        self._now = time
+                        probe(time)
+                    else:
+                        self._now = time
+                    fn()
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at cycle "
+                            f"{self._now}"
+                        )
+            # idle_check fires only when the heap actually drained; the
+            # until-limit break above leaves events queued and skips it.
+            if not heap and idle_check is not None:
+                idle_check()
         finally:
             self._running = False
         return self._now

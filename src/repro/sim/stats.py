@@ -13,19 +13,80 @@ from collections import Counter
 from typing import Dict, List, Mapping, Optional
 
 
-@dataclasses.dataclass
 class HandlerSample:
     """One software protocol-handler invocation.
 
     ``breakdown`` maps activity name -> cycles; ``latency`` is its sum.
+
+    Millions of these are allocated on software-heavy runs (one per
+    handler invocation, up to the machine's sample cap), so the class is
+    a hand-written ``__slots__`` holder rather than a dataclass: no
+    per-instance ``__dict__``, cheaper allocation, smaller footprint.
     """
 
-    kind: str  # "read" | "write" | "ack" | "last_ack" | "local" | ...
-    implementation: str  # "flexible" | "optimized"
-    node: int
-    pointers: int  # pointers handled (emptied or invalidated)
-    latency: int
-    breakdown: Dict[str, int] = dataclasses.field(default_factory=dict)
+    __slots__ = ("kind", "implementation", "node", "pointers", "latency",
+                 "breakdown")
+
+    def __init__(
+        self,
+        kind: str,  # "read" | "write" | "ack" | "last_ack" | "local" | ...
+        implementation: str,  # "flexible" | "optimized"
+        node: int,
+        pointers: int,  # pointers handled (emptied or invalidated)
+        latency: int,
+        breakdown: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.kind = kind
+        self.implementation = implementation
+        self.node = node
+        self.pointers = pointers
+        self.latency = latency
+        self.breakdown = {} if breakdown is None else breakdown
+
+    def __repr__(self) -> str:
+        return (
+            f"HandlerSample(kind={self.kind!r}, "
+            f"implementation={self.implementation!r}, node={self.node!r}, "
+            f"pointers={self.pointers!r}, latency={self.latency!r}, "
+            f"breakdown={self.breakdown!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HandlerSample):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.implementation == other.implementation
+            and self.node == other.node
+            and self.pointers == other.pointers
+            and self.latency == other.latency
+            and self.breakdown == other.breakdown
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (repro.exec result cache)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "implementation": self.implementation,
+            "node": self.node,
+            "pointers": self.pointers,
+            "latency": self.latency,
+            "breakdown": dict(self.breakdown),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, object]) -> "HandlerSample":
+        return cls(
+            kind=doc["kind"],
+            implementation=doc["implementation"],
+            node=doc["node"],
+            pointers=doc["pointers"],
+            latency=doc["latency"],
+            breakdown=dict(doc["breakdown"]),
+        )
 
 
 @dataclasses.dataclass
@@ -61,6 +122,25 @@ class NodeStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 1.0
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (repro.exec result cache)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            doc[field.name] = dict(value) if isinstance(value, Counter) \
+                else value
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, object]) -> "NodeStats":
+        kwargs = dict(doc)
+        kwargs["traps"] = Counter(kwargs.get("traps") or {})
+        kwargs["messages_sent"] = Counter(kwargs.get("messages_sent") or {})
+        return cls(**kwargs)
+
 
 @dataclasses.dataclass
 class RunStats:
@@ -72,6 +152,50 @@ class RunStats:
     handler_samples: List[HandlerSample]
     sequential_cycles: int
     worker_set_histogram: Optional[Mapping[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (repro.exec result cache)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation; :meth:`from_json_dict` inverts it.
+
+        The round trip is exact: every field collapses to ints, strings,
+        lists, and string-keyed dicts, so a cached result replayed from
+        disk is ``==`` to the freshly computed one and every derived
+        number (speedups, latency means, histograms) is bit-identical.
+        """
+        histogram = self.worker_set_histogram
+        return {
+            "run_cycles": self.run_cycles,
+            "n_nodes": self.n_nodes,
+            "sequential_cycles": self.sequential_cycles,
+            "per_node": [ns.to_json_dict() for ns in self.per_node],
+            "handler_samples": [s.to_json_dict()
+                                for s in self.handler_samples],
+            # JSON objects have string keys; sizes are restored as ints.
+            "worker_set_histogram": (
+                None if histogram is None
+                else {str(size): count for size, count in histogram.items()}
+            ),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, object]) -> "RunStats":
+        histogram = doc.get("worker_set_histogram")
+        return cls(
+            run_cycles=doc["run_cycles"],
+            n_nodes=doc["n_nodes"],
+            sequential_cycles=doc["sequential_cycles"],
+            per_node=[NodeStats.from_json_dict(ns)
+                      for ns in doc["per_node"]],
+            handler_samples=[HandlerSample.from_json_dict(s)
+                             for s in doc["handler_samples"]],
+            worker_set_histogram=(
+                None if histogram is None
+                else {int(size): count for size, count in histogram.items()}
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -17,6 +17,7 @@ MODULES = [
     "repro.analysis.model",
     "repro.analysis.profiling",
     "repro.analysis.report",
+    "repro.analysis.reportgen",
     "repro.analysis.verify",
     "repro.analysis.workersets",
     "repro.cache",
@@ -36,6 +37,10 @@ MODULES = [
     "repro.core.software.handlers",
     "repro.core.software.interface",
     "repro.core.spec",
+    "repro.exec",
+    "repro.exec.cache",
+    "repro.exec.jobs",
+    "repro.exec.pool",
     "repro.machine",
     "repro.machine.barrier",
     "repro.machine.heap",

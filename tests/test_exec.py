@@ -1,0 +1,253 @@
+"""Tests for the parallel experiment runner (repro.exec).
+
+Covers the determinism contract end to end: canonical job keys, the
+RunStats JSON round trip, the on-disk cache (hit/miss, corruption,
+version invalidation), worker-count resolution, dedup, and the
+headline property — identical driver output at ``--jobs 1``,
+``--jobs 2``, and from a warm cache.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.experiments import fig2_worker_ratios, run_one
+from repro.exec import JobRunner, ResultCache, make_job, run_jobs
+from repro.exec.cache import cache_key
+from repro.exec.jobs import canonical_json, execute_job, job_key
+from repro.exec.pool import resolve_jobs
+from repro.machine.params import MachineParams
+from repro.workloads.worker import WorkerBenchmark
+
+TINY = dict(worker_set_size=2, iterations=1)
+
+
+def tiny_job(protocol="DirnH5SNB", n_nodes=16, **kwargs):
+    merged = dict(TINY, **kwargs)
+    return make_job(WorkerBenchmark, merged, protocol=protocol,
+                    n_nodes=n_nodes)
+
+
+# ----------------------------------------------------------------------
+# Job keys
+# ----------------------------------------------------------------------
+
+class TestJobKeys:
+    def test_kwarg_order_does_not_change_key(self):
+        a = make_job(WorkerBenchmark,
+                     {"worker_set_size": 2, "iterations": 1},
+                     protocol="DirnH5SNB", n_nodes=16)
+        b = make_job(WorkerBenchmark,
+                     {"iterations": 1, "worker_set_size": 2},
+                     protocol="DirnH5SNB", n_nodes=16)
+        assert a == b
+        assert job_key(a) == job_key(b)
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_key_is_readable(self):
+        key = job_key(tiny_job())
+        assert key.startswith("workerbenchmark:DirnH5SNB:")
+
+    def test_distinct_specs_get_distinct_keys(self):
+        base = tiny_job()
+        assert job_key(base) != job_key(tiny_job(protocol="DirnH2SNB"))
+        assert job_key(base) != job_key(tiny_job(n_nodes=64))
+        assert job_key(base) != job_key(tiny_job(iterations=2))
+
+    def test_explicit_params_equal_shorthand(self):
+        shorthand = tiny_job()
+        explicit = make_job(
+            WorkerBenchmark, dict(TINY), protocol="DirnH5SNB",
+            params=MachineParams(n_nodes=16, victim_cache_enabled=True,
+                                 perfect_ifetch=False))
+        assert job_key(shorthand) == job_key(explicit)
+
+    def test_any_machine_param_changes_key(self):
+        base = MachineParams(n_nodes=16)
+        tweaked = MachineParams(n_nodes=16, victim_cache_enabled=True)
+        a = make_job(WorkerBenchmark, dict(TINY), protocol="DirnH5SNB",
+                     params=base)
+        b = make_job(WorkerBenchmark, dict(TINY), protocol="DirnH5SNB",
+                     params=tweaked)
+        assert job_key(a) != job_key(b)
+
+
+# ----------------------------------------------------------------------
+# RunStats JSON round trip
+# ----------------------------------------------------------------------
+
+def test_runstats_json_round_trip():
+    stats = execute_job(tiny_job())
+    encoded = json.dumps(stats.to_json_dict(), sort_keys=True)
+    restored = type(stats).from_json_dict(json.loads(encoded))
+    assert restored.run_cycles == stats.run_cycles
+    assert restored.sequential_cycles == stats.sequential_cycles
+    assert restored.n_nodes == stats.n_nodes
+    assert restored.worker_set_histogram == stats.worker_set_histogram
+    assert restored.per_node == stats.per_node
+    assert restored.handler_samples == stats.handler_samples
+    # And the round trip is a fixed point: re-encoding is identical.
+    assert json.dumps(restored.to_json_dict(), sort_keys=True) == encoded
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = tiny_job()
+        assert cache.get(job) is None
+        stats = execute_job(job)
+        path = cache.put(job, stats)
+        assert os.path.isfile(path)
+        got = cache.get(job)
+        assert got is not None
+        assert got.run_cycles == stats.run_cycles
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        with open(cache.path_for(job), "w", encoding="utf-8") as fh:
+            fh.write("{truncated")
+        assert cache.get(job) is None
+
+    def test_machine_params_change_invalidates(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        tweaked = make_job(
+            WorkerBenchmark, dict(TINY), protocol="DirnH5SNB",
+            params=MachineParams(n_nodes=16, cache_bytes=32 * 1024))
+        assert cache_key(job) != cache_key(tweaked)
+        assert cache.get(tweaked) is None
+
+    def test_cost_model_version_bump_invalidates(self, tmp_path,
+                                                 monkeypatch):
+        from repro.core.software import costmodel
+
+        cache = ResultCache(str(tmp_path))
+        job = tiny_job()
+        cache.put(job, execute_job(job))
+        assert cache.get(job) is not None
+        monkeypatch.setattr(costmodel, "COST_MODEL_VERSION",
+                            costmodel.COST_MODEL_VERSION + 1)
+        assert cache.get(job) is None
+
+    def test_prune_removes_stale_entries(self, tmp_path, monkeypatch):
+        from repro.core.software import costmodel
+
+        cache = ResultCache(str(tmp_path))
+        job = tiny_job()
+        stats = execute_job(job)
+        cache.put(job, stats)
+        monkeypatch.setattr(costmodel, "COST_MODEL_VERSION",
+                            costmodel.COST_MODEL_VERSION + 1)
+        cache.put(job, stats)  # current-version entry survives
+        assert cache.prune() == 1
+        assert cache.get(job) is not None
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+
+class TestResolveJobs:
+    def test_ints_and_strings(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("2") == 2
+        assert resolve_jobs(" 3 ") == 3
+
+    def test_auto_is_at_least_one(self):
+        assert resolve_jobs("auto") >= 1
+        assert resolve_jobs("AUTO") >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "junk", "1.5", ""])
+    def test_rejects_junk(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad)
+
+
+# ----------------------------------------------------------------------
+# Runner: dedup, memo, parallel determinism
+# ----------------------------------------------------------------------
+
+class TestJobRunner:
+    def test_duplicates_run_once(self):
+        job = tiny_job()
+        runner = JobRunner(jobs=1)
+        results = runner.run([job, job, job])
+        assert len(results) == 1
+        assert runner.jobs_executed == 1
+        assert runner.jobs_deduplicated == 2
+
+    def test_memo_spans_plans(self):
+        runner = JobRunner(jobs=1)
+        runner.run([tiny_job()])
+        runner.run([tiny_job()])
+        assert runner.jobs_executed == 1
+        assert runner.memo_hits == 1
+
+    def test_parallel_matches_serial(self):
+        plan = [tiny_job(), tiny_job(protocol="DirnH2SNB"),
+                tiny_job(protocol="DirnHNBS-")]
+        serial = run_jobs(plan, jobs=1)
+        parallel = run_jobs(plan, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key].run_cycles == parallel[key].run_cycles
+
+    def test_cache_feeds_runner(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = [tiny_job()]
+        JobRunner(jobs=1, cache=cache).run(plan)
+        warm = JobRunner(jobs=1, cache=cache)
+        results = warm.run(plan)
+        assert warm.jobs_executed == 0
+        assert cache.hits == 1
+        assert results[job_key(plan[0])].run_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Driver-level determinism: the headline property
+# ----------------------------------------------------------------------
+
+def test_fig2_identical_serial_parallel_and_cached(tmp_path):
+    kwargs = dict(sizes=(1, 2), protocols=("DirnH5SNB",), n_nodes=16,
+                  iterations=1)
+    serial = fig2_worker_ratios(**kwargs, runner=JobRunner(jobs=1))
+    parallel = fig2_worker_ratios(**kwargs, runner=JobRunner(jobs=2))
+    cache = ResultCache(str(tmp_path))
+    fig2_worker_ratios(**kwargs, runner=JobRunner(jobs=1, cache=cache))
+    cached = fig2_worker_ratios(**kwargs,
+                                runner=JobRunner(jobs=1, cache=cache))
+    assert serial == parallel == cached
+    assert cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# run_one params/shorthand conflict (bugfix)
+# ----------------------------------------------------------------------
+
+class TestRunOneConflict:
+    def test_params_plus_shorthand_raises(self):
+        workload = WorkerBenchmark(**TINY)
+        params = MachineParams(n_nodes=16)
+        with pytest.raises(ValueError, match="n_nodes"):
+            run_one(workload, "DirnH5SNB", n_nodes=32, params=params)
+        with pytest.raises(ValueError, match="victim_cache"):
+            run_one(workload, "DirnH5SNB", victim_cache=False,
+                    params=params)
+        with pytest.raises(ValueError, match="perfect_ifetch"):
+            run_one(workload, "DirnH5SNB", perfect_ifetch=True,
+                    params=params)
+
+    def test_params_alone_is_fine(self):
+        stats = run_one(WorkerBenchmark(**TINY), "DirnH5SNB",
+                        params=MachineParams(n_nodes=16))
+        assert stats.n_nodes == 16

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Benchmark the experiment pipeline; writes ``BENCH_experiments.json``.
+
+Seeds the performance trajectory for the repository: each PR that
+touches the engine or the runner can re-run this tool and compare
+against the committed record.  Measured quantities:
+
+- **engine**: raw event-loop throughput (events/sec) — a drain bench
+  (pop + dispatch of pre-scheduled events) and a chain bench
+  (schedule + pop + dispatch), plus wall-clock for a reference WORKER
+  simulation;
+- **drivers**: wall-clock of every experiment driver at the quick
+  preset, three ways — serial (``--jobs 1``, cache off), parallel
+  (``--jobs auto``, cache off), and a warm-cache replay.
+
+Usage::
+
+    python tools/bench_experiments.py [output.json] [--preset quick|full]
+
+Wall-clock numbers vary with the host; the point of the record is the
+*trajectory* (this machine, PR over PR) and the derived ratios
+(parallel speedup, cache speedup, events/sec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+from repro.analysis import reportgen
+from repro.analysis.experiments import (
+    fig2_plan,
+    fig3_plan,
+    fig4_plan,
+    fig5_plan,
+    fig6_plan,
+    table1_plan,
+    table2_plan,
+    table3_plan,
+)
+from repro.exec import JobRunner, ResultCache
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
+from repro.sim.engine import Simulator
+from repro.workloads.worker import WorkerBenchmark
+
+PLANNERS = {
+    "table1": table1_plan,
+    "table2": table2_plan,
+    "table3": table3_plan,
+    "fig2": fig2_plan,
+    "fig3": fig3_plan,
+    "fig4": fig4_plan,
+    "fig5": fig5_plan,
+    "fig6": fig6_plan,
+}
+
+
+# ----------------------------------------------------------------------
+# Engine microbenchmarks
+# ----------------------------------------------------------------------
+
+def bench_engine_drain(n_events: int = 300_000) -> dict:
+    """Pop + dispatch throughput over a pre-scheduled heap."""
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731 - the cheapest possible event body
+    for t in range(n_events):
+        sim.at(t, noop)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {"events": n_events, "seconds": elapsed,
+            "events_per_sec": n_events / elapsed}
+
+
+def bench_engine_chain(n_events: int = 300_000) -> dict:
+    """Schedule + pop + dispatch throughput: each event schedules the
+    next, the simulator's steady-state shape."""
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.after(1, tick)
+
+    sim.at(0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {"events": n_events, "seconds": elapsed,
+            "events_per_sec": n_events / elapsed}
+
+
+def bench_worker_reference() -> dict:
+    """Wall-clock of a reference software-heavy WORKER simulation."""
+    t0 = time.perf_counter()
+    machine = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+    stats = machine.run(WorkerBenchmark(worker_set_size=8, iterations=4))
+    elapsed = time.perf_counter() - t0
+    return {
+        "config": "WORKER ws=8 it=4, 16 nodes, DirnH5SNB",
+        "seconds": elapsed,
+        "run_cycles": stats.run_cycles,
+        "sim_cycles_per_sec": stats.run_cycles / elapsed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver benchmarks
+# ----------------------------------------------------------------------
+
+def _plans(preset: str) -> dict:
+    sizes_of = reportgen.PRESETS[preset]
+    return {name: planner(**sizes_of[name])
+            for name, planner in PLANNERS.items()}
+
+
+def _time_sweep(plans: dict, runner: JobRunner) -> dict:
+    timings = {}
+    for name, plan in plans.items():
+        t0 = time.perf_counter()
+        runner.run(plan)
+        timings[name] = round(time.perf_counter() - t0, 3)
+    return timings
+
+
+def bench_drivers(preset: str) -> dict:
+    """Serial vs parallel vs warm-cache wall clock per driver."""
+    plans = _plans(preset)
+
+    serial = _time_sweep(plans, JobRunner(jobs=1))
+
+    parallel_runner = JobRunner(jobs="auto")
+    parallel = _time_sweep(plans, parallel_runner)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        _time_sweep(plans, JobRunner(jobs=1, cache=cache))  # populate
+        warm = _time_sweep(plans, JobRunner(jobs=1, cache=cache))
+
+    serial_total = round(sum(serial.values()), 3)
+    parallel_total = round(sum(parallel.values()), 3)
+    warm_total = round(sum(warm.values()), 3)
+    return {
+        "preset": preset,
+        "parallel_workers": parallel_runner.n_workers,
+        "per_driver": {
+            name: {"serial_s": serial[name], "parallel_s": parallel[name],
+                   "warm_cache_s": warm[name]}
+            for name in plans
+        },
+        "totals": {
+            "serial_s": serial_total,
+            "parallel_s": parallel_total,
+            "warm_cache_s": warm_total,
+            "parallel_speedup": round(
+                serial_total / parallel_total, 2) if parallel_total else None,
+            "cache_speedup": round(
+                serial_total / warm_total, 1) if warm_total else None,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?",
+                        default="BENCH_experiments.json")
+    parser.add_argument("--preset", choices=sorted(reportgen.PRESETS),
+                        default="quick",
+                        help="driver problem sizes (default quick)")
+    args = parser.parse_args(argv)
+
+    print("engine: drain bench...", flush=True)
+    drain = bench_engine_drain()
+    print(f"  {drain['events_per_sec']:,.0f} events/sec", flush=True)
+    print("engine: chain bench...", flush=True)
+    chain = bench_engine_chain()
+    print(f"  {chain['events_per_sec']:,.0f} events/sec", flush=True)
+    print("engine: WORKER reference...", flush=True)
+    worker = bench_worker_reference()
+    print(f"  {worker['sim_cycles_per_sec']:,.0f} sim cycles/sec",
+          flush=True)
+    print(f"drivers ({args.preset} preset): serial, parallel, "
+          f"warm cache...", flush=True)
+    drivers = bench_drivers(args.preset)
+    totals = drivers["totals"]
+    print(f"  serial {totals['serial_s']}s, parallel "
+          f"{totals['parallel_s']}s ({drivers['parallel_workers']} "
+          f"workers, {totals['parallel_speedup']}x), warm cache "
+          f"{totals['warm_cache_s']}s ({totals['cache_speedup']}x)",
+          flush=True)
+
+    doc = {
+        "schema": "repro-bench-experiments/1",
+        "generated": datetime.date.today().isoformat(),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "engine": {
+            "drain": drain,
+            "chain": chain,
+            "worker_reference": worker,
+        },
+        "drivers": drivers,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
