@@ -10,13 +10,21 @@ rather than ``run_once``.  Three shapes:
 - **chain**: each event schedules the next — the steady-state
   schedule/pop/dispatch cycle;
 - **probed drain**: same as drain but with an observer probe installed,
-  exercising the slow path the fast path branches around.
+  exercising the slow path the fast path branches around;
+- **worker end-to-end**: a full 16-node ``WORKER`` run with no
+  observers attached — the protocol-engine hot path (table dispatch,
+  directory backend, network, caches) measured as wall-clock per
+  simulated machine, the gate for refactors of ``repro/core/``.
 
 Record before/after numbers in ``docs/performance.md`` when touching
-``Simulator.run`` or the ``__slots__`` message/payload classes.
+``Simulator.run``, the ``__slots__`` message/payload classes, or the
+coherence engine dispatch.
 """
 
+from repro.machine.machine import Machine
+from repro.machine.params import MachineParams
 from repro.sim.engine import Simulator
+from repro.workloads.worker import WorkerBenchmark
 
 N_EVENTS = 50_000
 
@@ -62,3 +70,16 @@ def test_engine_drain_with_probe(benchmark):
     result = benchmark(_drain, probe=lambda t: seen.append(t))
     assert result == N_EVENTS - 1
     assert seen  # the probe really ran
+
+
+def _worker_end_to_end():
+    machine = Machine(MachineParams(n_nodes=16), protocol="DirnH5SNB")
+    stats = machine.run(WorkerBenchmark(worker_set_size=8, iterations=2))
+    return stats.run_cycles
+
+
+def test_worker_end_to_end(benchmark):
+    """Whole-machine throughput: 16-node WORKER through the coherence
+    engine with no observers attached.  Deterministic cycle count doubles
+    as a correctness anchor for the timing being benchmarked."""
+    assert benchmark(_worker_end_to_end) == 24_812

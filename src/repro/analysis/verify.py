@@ -15,6 +15,13 @@ Use :func:`coherence_violations` at quiescence (end of run), or install
 :func:`install_barrier_checker` to verify at *every* barrier — barriers
 are quiescent points for user traffic, so protocol corruption surfaces
 at the first barrier after it happens rather than at the end.
+
+For finer granularity than barriers, the *continuous* checker in
+:mod:`repro.core.protocol.invariants` validates every fired directory
+transition and every fabric message through the observability probes
+(``repro run --check-invariants``); its end-of-run
+:meth:`~repro.core.protocol.invariants.InvariantChecker.finish` calls
+:func:`coherence_violations` as the final sweep.
 """
 
 from __future__ import annotations

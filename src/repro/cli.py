@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro worker --size 8 --nodes 16
     python -m repro cost --nodes 64
     python -m repro experiments --jobs auto
+    python -m repro run --app water --check-invariants
+    python -m repro cache prune --max-age 7d --dry-run
 
 Every command is deterministic: running it twice prints identical
 numbers — and for ``experiments``, identical output for any ``--jobs``
@@ -34,6 +36,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_table
 from repro.analysis.reportgen import write_experiments_md
+from repro.core.protocol import InvariantChecker
 from repro.exec import DEFAULT_CACHE_DIR, JobRunner, ResultCache
 from repro.core.spec import PAPER_SPECTRUM, spec_of
 from repro.machine.machine import Machine
@@ -54,6 +57,28 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {text!r}")
+    return value
+
+
+_DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def _duration(text: str) -> float:
+    """Parse a duration: plain seconds, or a d/h/m/s-suffixed number."""
+    raw = text.strip().lower()
+    scale = 1
+    if raw and raw[-1] in _DURATION_UNITS:
+        scale = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration like 300, 12h or 7d, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"duration must be non-negative, got {text!r}")
     return value
 
 
@@ -86,6 +111,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sample-every", type=_positive_int, default=10_000,
                      metavar="CYCLES",
                      help="interval of the metrics time-series sampler")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run under the continuous protocol invariant "
+                          "checker; exit 1 on any violation")
 
     profile = sub.add_parser(
         "profile",
@@ -142,6 +170,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                   f"(default {DEFAULT_CACHE_DIR})")
     experiments.add_argument("--no-cache", action="store_true",
                              help="disable the on-disk result cache")
+    experiments.add_argument("--check-invariants", action="store_true",
+                             help="run every executed job under the "
+                                  "continuous protocol invariant checker")
+
+    cache = sub.add_parser(
+        "cache", help="manage the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune",
+        help="delete entries written by older cost-model/package "
+             "versions (and, with --max-age, old entries)")
+    prune.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       metavar="DIR",
+                       help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    prune.add_argument("--max-age", type=_duration, default=None,
+                       metavar="AGE",
+                       help="also delete entries older than AGE — a "
+                            "number of seconds, or with a d/h/m/s "
+                            "suffix (e.g. 7d, 12h)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be deleted without "
+                            "deleting anything")
 
     return parser
 
@@ -175,12 +225,14 @@ def _machine_from(args: argparse.Namespace) -> Machine:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     machine = _machine_from(args)
-    collector = sampler = recorder = None
+    collector = sampler = recorder = checker = None
     if args.trace_out:
         collector = TraceCollector.attach(machine)
     if args.metrics_out:
         sampler = IntervalSampler.attach(machine, every=args.sample_every)
         recorder = LatencyRecorder.attach(machine)
+    if args.check_invariants:
+        checker = InvariantChecker.attach(machine)
 
     workload = APPLICATIONS[args.app]()
     stats = machine.run(workload)
@@ -212,6 +264,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                    metrics_dict(stats, config=config,
                                 sampler=sampler, recorder=recorder))
         print(f"  metrics         {args.metrics_out}")
+    if checker is not None:
+        checker.finish()
+        print(f"  invariants      {checker.transitions_checked:>12,} "
+              f"transitions, {checker.messages_checked:,} messages, "
+              f"{len(checker.violations)} violation"
+              f"{'' if len(checker.violations) == 1 else 's'}")
+        if checker.violations:
+            for violation in checker.violations[:20]:
+                print(f"    {violation}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -326,6 +388,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         runner = JobRunner(
             jobs=args.jobs,
             cache=None if args.no_cache else ResultCache(args.cache_dir),
+            check_invariants=args.check_invariants,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -348,6 +411,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    assert args.cache_command == "prune"
+    cache = ResultCache(args.cache_dir)
+    removed = cache.prune(max_age=args.max_age, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {removed} stale cache entr"
+          f"{'y' if removed == 1 else 'ies'} under {cache.root}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -356,6 +429,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "cost": _cmd_cost,
     "experiments": _cmd_experiments,
+    "cache": _cmd_cache,
 }
 
 

@@ -15,8 +15,13 @@ class ConfigurationError(ReproError):
     """A machine, protocol, or workload was configured inconsistently."""
 
 
-class ProtocolSpecError(ConfigurationError):
-    """A protocol-notation string or spec could not be parsed/validated."""
+class ProtocolSpecError(ConfigurationError, ValueError):
+    """A protocol-notation string or spec could not be parsed/validated.
+
+    Also a :class:`ValueError`: malformed protocol names are plain bad
+    input, so callers validating user-supplied names (CLI options,
+    config files) can use the idiomatic ``except ValueError``.
+    """
 
 
 class ProtocolStateError(ReproError):

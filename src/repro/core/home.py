@@ -1,661 +1,76 @@
-"""Home-node protocol controllers.
+"""Home-node protocol controllers (compatibility facade).
 
-Two controllers implement the memory side of the coherence protocol:
+The controllers that used to live here were refactored into the
+declarative protocol core: transition tables in
+:mod:`repro.core.protocol.table`, guard/action implementations in
+:mod:`repro.core.protocol.backends`, and the single table-driven
+executor in :mod:`repro.core.protocol.engine`.  This module keeps the
+historical entry points working:
 
-- :class:`HardwareHomeController` — the CMMU's hardware directory for the
-  full-map and limited-pointer protocols.  Requests that fit in the
-  hardware pointers are handled entirely here; overflows and extended
-  writes are delegated to :class:`~repro.core.software.handlers.ProtocolSoftware`.
-- :class:`SoftwareOnlyHomeController` — the ``DirnH0SNB,ACK`` software-only
-  directory (Section 2.3): one remote-access bit per block in hardware,
-  all inter-node protocol state transitions in software.
+- :func:`HardwareHomeController` — the CMMU's hardware directory for
+  the full-map and limited-pointer protocols; overflows and extended
+  writes are delegated to
+  :class:`~repro.core.software.handlers.ProtocolSoftware`.
+- :func:`SoftwareOnlyHomeController` — the ``DirnH0SNB,ACK``
+  software-only directory (Section 2.3): one remote-access bit per
+  block in hardware, all inter-node protocol state transitions in
+  software.
 
-Both controllers answer requests racing an in-flight transaction with
-BUSY messages; requesters retry with deterministic backoff.  That is
+Both answer requests racing an in-flight transaction with BUSY
+messages; requesters retry with deterministic backoff.  That is
 Alewife's livelock-free forward-progress mechanism.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Optional
 
-from repro.common.errors import ProtocolStateError
-from repro.common.types import DirState, TrapKind
-from repro.core import messages as msg
-from repro.core.directory import DirectoryEntry
-from repro.core.software.extdir import SoftwareDirEntry
-from repro.core.software.handlers import ProtocolSoftware
-from repro.core.software.interface import CoherenceInterface
-from repro.core.spec import AckMode, ProtocolSpec
+from repro.core.protocol.backends import (  # noqa: F401  (re-exports)
+    DIR_LATENCY,
+    HW_INV_SPACING,
+    MIGRATORY_THRESHOLD,
+    FullMapBackend,
+    LimitedPointerBackend,
+    SoftwareOnlyBackend,
+)
+from repro.core.protocol.engine import HomeProtocolEngine
+from repro.core.spec import ProtocolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.software.interface import CoherenceInterface
     from repro.machine.node import Node
-    from repro.network.fabric import Message
 
-#: Cycles for a hardware directory lookup/update before a reply leaves.
-DIR_LATENCY = 2
-
-#: Spacing between successive hardware-synthesised invalidations.
-HW_INV_SPACING = 2
-
-#: read-then-upgrade migrations observed before a block is marked
-#: migratory
-MIGRATORY_THRESHOLD = 2
+__all__ = [
+    "DIR_LATENCY",
+    "HW_INV_SPACING",
+    "MIGRATORY_THRESHOLD",
+    "HardwareHomeController",
+    "SoftwareOnlyHomeController",
+]
 
 
-class HardwareHomeController:
-    """Hardware directory + software extension for one node's memory."""
+def HardwareHomeController(node: "Node", spec: ProtocolSpec,
+                           interface: Optional["CoherenceInterface"]
+                           ) -> HomeProtocolEngine:
+    """Hardware directory + software extension for one node's memory.
 
-    def __init__(self, node: "Node", spec: ProtocolSpec,
-                 interface: Optional[CoherenceInterface]) -> None:
-        self.node = node
-        self.spec = spec
-        self.n_nodes = node.machine.params.n_nodes
-        self.mem_latency = node.machine.params.mem_latency
-        self.entries: Dict[int, DirectoryEntry] = {}
-        self.software: Optional[ProtocolSoftware] = None
-        if spec.needs_software:
-            if interface is None:
-                raise ProtocolStateError("software protocol needs an interface")
-            self.software = ProtocolSoftware(self, interface)
-
-    # ------------------------------------------------------------------
-    # Entry management
-    # ------------------------------------------------------------------
-
-    def entry_for(self, block: int) -> DirectoryEntry:
-        entry = self.entries.get(block)
-        if entry is None:
-            # Alewife reconfigures coherence protocols block-by-block
-            # (Section 3.1); the machine may hold a per-block override.
-            spec = self.node.machine.protocol_for_block(block)
-            entry = DirectoryEntry(
-                capacity=0 if spec.full_map else spec.hw_pointers,
-                block=block,
-                full_map=spec.full_map,
-                home=self.node.id,
-                use_local_bit=spec.local_bit and not spec.full_map,
-                sw_broadcast=spec.sw_broadcast,
-            )
-            self.entries[block] = entry
-        return entry
-
-    # ------------------------------------------------------------------
-    # Message dispatch
-    # ------------------------------------------------------------------
-
-    def handle(self, message: "Message") -> None:
-        payload = message.payload
-        block = payload.block
-        if message.kind == msg.RREQ:
-            self._on_read(message.src, block)
-        elif message.kind == msg.WREQ:
-            self._on_write(message.src, block)
-        elif message.kind == msg.ACK:
-            self._on_ack(message.src, block)
-        elif message.kind == msg.FETCH_DATA:
-            self._on_fetch_data(message.src, block)
-        elif message.kind == msg.EVICT_WB:
-            self._on_evict_wb(message.src, block)
-        elif message.kind == msg.RELINQ:
-            self._on_relinquish(message.src, block)
-        else:
-            raise ProtocolStateError(f"home received {message.kind}")
-
-    # ------------------------------------------------------------------
-    # Requests
-    # ------------------------------------------------------------------
-
-    def _on_read(self, requester: int, block: int) -> None:
-        entry = self.entry_for(block)
-        if not entry.idle:
-            if (entry.migratory
-                    and entry.state is DirState.WRITE_TRANSACTION
-                    and entry.pending_owner is not None):
-                # A second reader is racing a migratory handoff: the
-                # block is being read-shared after all.  Revert.
-                entry.migratory_conflicts += 1
-                if entry.migratory_conflicts >= MIGRATORY_THRESHOLD:
-                    entry.migratory = False
-                    entry.migratory_evidence = 0
-                    entry.migratory_conflicts = 0
-            self._busy(requester, block)
-            return
-        state = entry.state
-        if state is DirState.ABSENT:
-            entry.state = DirState.READ_ONLY
-            entry.record(requester)
-            self._grant(msg.RDATA, requester, block)
-        elif state is DirState.READ_ONLY:
-            if entry.has_pointer(requester) or entry.can_record(requester):
-                entry.record(requester)
-                self._grant(msg.RDATA, requester, block)
-            elif entry.sw_broadcast:
-                # Dir1...B protocols: stop tracking, remember that a
-                # broadcast will be needed, and grant without trapping.
-                # The idle ack counter counts the untracked copies so
-                # CICO check-ins can restore exactness.
-                entry.extended = True
-                entry.untracked += 1
-                self._grant(msg.RDATA, requester, block)
-            else:
-                assert self.software is not None
-                self.software.on_read_overflow(entry, requester)
-        elif state is DirState.READ_WRITE:
-            owner = entry.owner
-            if owner == requester:
-                # The owner's write-back is in flight; retry until it lands.
-                self._busy(requester, block)
-            elif entry.migratory:
-                # Migratory data (Section 7): hand the reader the block
-                # exclusively, saving its upgrade transaction.
-                self._start_fetch(entry, requester, owner, is_read=False)
-            else:
-                self._start_fetch(entry, requester, owner, is_read=True)
-        else:  # pragma: no cover - transient states caught by entry.idle
-            raise ProtocolStateError(f"read in state {state}")
-
-    def _on_write(self, requester: int, block: int) -> None:
-        entry = self.entry_for(block)
-        if not entry.idle:
-            self._busy(requester, block)
-            return
-        state = entry.state
-        if state is DirState.ABSENT:
-            self.complete_write(entry, requester)
-        elif state is DirState.READ_ONLY:
-            if entry.extended:
-                assert self.software is not None
-                if entry.sw_broadcast:
-                    self.software.on_write_broadcast(entry, requester)
-                else:
-                    self.software.on_write_extended(entry, requester)
-                return
-            if self.node.machine.migratory_detection:
-                self._observe_upgrade(entry, requester)
-            targets = entry.sharer_set()
-            targets.discard(requester)
-            if not targets:
-                self.complete_write(entry, requester)
-                return
-            self._hw_invalidate(entry, requester, targets)
-        elif state is DirState.READ_WRITE:
-            owner = entry.owner
-            if owner == requester:
-                self._busy(requester, block)
-            else:
-                self._start_fetch(entry, requester, owner, is_read=False)
-        else:  # pragma: no cover
-            raise ProtocolStateError(f"write in state {state}")
-
-    def _observe_upgrade(self, entry: DirectoryEntry, requester: int) -> None:
-        """Migratory detection: a read followed by an upgrade from the
-        sole sharer, with a *different* previous writer, is migration
-        evidence; genuine read-sharing resets it."""
-        others = entry.sharer_set() - {requester}
-        migrationlike = (not others
-                         or others == {entry.last_writer})
-        if migrationlike:
-            if entry.last_writer is not None \
-                    and entry.last_writer != requester:
-                entry.migratory_evidence += 1
-                entry.migratory_conflicts = 0
-                if entry.migratory_evidence >= MIGRATORY_THRESHOLD:
-                    entry.migratory = True
-        elif len(others) >= 2:
-            entry.migratory_evidence = 0
-            entry.migratory = False
-
-    def _hw_invalidate(self, entry: DirectoryEntry, requester: int,
-                       targets: Set[int]) -> None:
-        """Hardware-directed invalidation of the tracked sharers."""
-        for index, target in enumerate(sorted(targets)):
-            self.node.send_protocol(
-                msg.INV, target, entry.block, requester=requester,
-                extra_delay=DIR_LATENCY + index * HW_INV_SPACING,
-            )
-        self.node.stats.invalidations_hw += len(targets)
-        entry.state = DirState.WRITE_TRANSACTION
-        entry.pending_requester = requester
-        entry.ack_count = len(targets)
-        entry.sw_write = False
-
-    def _start_fetch(self, entry: DirectoryEntry, requester: int,
-                     owner: int, is_read: bool) -> None:
-        """Recall a dirty copy from its owner.
-
-        A read normally downgrades the owner (FETCH_RD) so both nodes end
-        up with shared copies; when the directory cannot hold pointers
-        for both, the owner is invalidated instead.
-        """
-        fetch_inv = not is_read
-        if is_read and not entry.full_map:
-            slots_needed = sum(
-                1
-                for node in (owner, requester)
-                if not (entry.use_local_bit and node == entry.home)
-            )
-            if slots_needed > entry.capacity:
-                fetch_inv = True
-        entry.state = (DirState.READ_TRANSACTION if is_read
-                       else DirState.WRITE_TRANSACTION)
-        entry.pending_requester = requester
-        entry.pending_owner = owner
-        entry.pending_is_read = is_read
-        entry.fetch_is_inv = fetch_inv
-        entry.ack_count = 0
-        entry.sw_write = False
-        kind = msg.FETCH_INV if fetch_inv else msg.FETCH_RD
-        self.node.send_protocol(kind, owner, entry.block,
-                                requester=requester, extra_delay=DIR_LATENCY)
-
-    # ------------------------------------------------------------------
-    # Responses
-    # ------------------------------------------------------------------
-
-    def _on_ack(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is None or entry.state is not DirState.WRITE_TRANSACTION:
-            raise ProtocolStateError(
-                f"stray ack from {src} for block {block}"
-            )
-        if entry.sw_write and entry.seq_targets is not None:
-            assert self.software is not None
-            self.software.on_ack_sequential(entry)
-            return
-        if entry.sw_write and self.spec.ack_mode is AckMode.SOFTWARE:
-            assert self.software is not None
-            self.software.on_ack_software(entry)
-            return
-        if entry.ack_count <= 0:
-            raise ProtocolStateError(f"ack underflow for block {block}")
-        entry.ack_count -= 1
-        if entry.ack_count > 0:
-            return
-        requester = entry.pending_requester
-        if requester is None:
-            raise ProtocolStateError(f"no pending requester for {block}")
-        if entry.sw_write and self.spec.ack_mode is AckMode.LAST_SOFTWARE:
-            assert self.software is not None
-            self.software.on_last_ack(entry)
-        else:
-            self.complete_write(entry, requester)
-
-    def _on_fetch_data(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is None or not entry.state.transient:
-            raise ProtocolStateError(f"stray fetch data for block {block}")
-        self._finish_fetch(entry, src)
-
-    def _on_evict_wb(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is None:
-            raise ProtocolStateError(f"write-back for untracked block {block}")
-        if entry.state is DirState.READ_WRITE and entry.owner == src:
-            entry.reset_to_absent()
-            return
-        if entry.state.transient and entry.pending_owner == src:
-            # The write-back crossed our fetch in flight; it *is* the
-            # fetch response, except the owner no longer holds a copy.
-            entry.fetch_is_inv = True
-            self._finish_fetch(entry, src)
-            return
-        raise ProtocolStateError(
-            f"unexpected write-back from {src} for block {block} "
-            f"in state {entry.state}"
-        )
-
-    def _on_relinquish(self, src: int, block: int) -> None:
-        """A CICO check-in: drop the sharer's pointer (hardware only; a
-        pointer held in the software extension stays — its stale entry
-        is harmless and the next software write skips absent copies via
-        the normal acknowledge-anything rule)."""
-        entry = self.entries.get(block)
-        if entry is None or entry.state is not DirState.READ_ONLY:
-            return  # raced a write transaction; the INV path covers it
-        if entry.has_pointer(src):
-            entry.drop(src)
-        elif entry.untracked > 0:
-            entry.untracked -= 1
-            if entry.untracked == 0 and entry.sw_broadcast:
-                # Every untracked copy was checked back in: the pointer
-                # is exact again and writes need no broadcast.
-                entry.extended = False
-        if not entry.extended and not entry.sharer_set():
-            entry.reset_to_absent()
-
-    def _finish_fetch(self, entry: DirectoryEntry, owner: int) -> None:
-        if entry.pending_owner != owner:
-            raise ProtocolStateError(
-                f"fetch response from {owner}, expected {entry.pending_owner}"
-            )
-        requester = entry.pending_requester
-        if requester is None:
-            raise ProtocolStateError("fetch completion lost its requester")
-        if entry.pending_is_read:
-            entry.pointers.clear()
-            entry.local_bit = False
-            entry.state = DirState.READ_ONLY
-            entry.pending_requester = None
-            entry.pending_owner = None
-            if not entry.fetch_is_inv:
-                entry.record(owner)
-            entry.record(requester)
-            self._grant(msg.RDATA, requester, entry.block)
-        else:
-            self.complete_write(entry, requester)
-
-    # ------------------------------------------------------------------
-    # Helpers shared with the software handlers
-    # ------------------------------------------------------------------
-
-    def complete_write(self, entry: DirectoryEntry, requester: int,
-                       via_software: bool = False) -> None:
-        """Grant exclusive ownership of ``entry`` to ``requester``."""
-        entry.last_writer = requester
-        entry.reset_to_exclusive(requester)
-        entry.pending_owner = None
-        delay = 0 if via_software else self.mem_latency
-        self.node.send_protocol(msg.WDATA, requester, entry.block,
-                                requester=requester, extra_delay=delay)
-        self.node.machine.note_grant(entry.block, requester, write=True)
-
-    def note_grant(self, block: int, requester: int) -> None:
-        self.node.machine.note_grant(block, requester)
-
-    def _grant(self, kind: str, requester: int, block: int) -> None:
-        self.node.send_protocol(kind, requester, block, requester=requester,
-                                extra_delay=self.mem_latency)
-        self.note_grant(block, requester)
-
-    def _busy(self, requester: int, block: int) -> None:
-        self.node.stats.busy_replies += 1
-        self.node.send_protocol(msg.BUSY, requester, block,
-                                extra_delay=DIR_LATENCY)
-
-
-class SoftwareOnlyHomeController:
-    """``DirnH0SNB,ACK``: all inter-node coherence handled in software.
-
-    One extra bit per block (the *remote-access* bit) lets purely local
-    data run at uniprocessor speed; the first inter-node request sets the
-    bit and flushes the home node's cached copy, after which every access
-    — including the home's own — is handled by the extension software.
-
-    State transitions are applied atomically when a message is delivered
-    (several handlers can be queued on the node's software context at
-    once, so deferring mutations would let them clobber each other); the
-    trap models the handler's processor occupancy and delays the
-    *outgoing* messages until the handler would have finished composing
-    them.
+    Builds a :class:`~repro.core.protocol.engine.HomeProtocolEngine`
+    over a :class:`~repro.core.protocol.backends.FullMapBackend` or
+    :class:`~repro.core.protocol.backends.LimitedPointerBackend`
+    according to ``spec``.
     """
+    backend_cls = FullMapBackend if spec.full_map else LimitedPointerBackend
+    return HomeProtocolEngine(node, spec, backend_cls(node, spec, interface))
 
-    def __init__(self, node: "Node", spec: ProtocolSpec,
-                 interface: CoherenceInterface) -> None:
-        self.node = node
-        self.spec = spec
-        self.iface = interface
-        self.mem_latency = node.machine.params.mem_latency
-        self.entries: Dict[int, SoftwareDirEntry] = {}
-        #: invalidations sent to flush the home's own copy, with no write
-        #: transaction waiting on them
-        self._flush_acks: Dict[int, int] = {}
 
-    def entry_for(self, block: int) -> SoftwareDirEntry:
-        entry = self.entries.get(block)
-        if entry is None:
-            entry = SoftwareDirEntry(block)
-            self.entries[block] = entry
-        return entry
+def SoftwareOnlyHomeController(node: "Node", spec: ProtocolSpec,
+                               interface: "CoherenceInterface"
+                               ) -> HomeProtocolEngine:
+    """The ``DirnH0SNB,ACK`` software-only home directory.
 
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-
-    def handle(self, message: "Message") -> None:
-        block = message.payload.block
-        if message.kind in (msg.RREQ, msg.WREQ):
-            self._on_request(message.kind, message.src, block)
-        elif message.kind == msg.ACK:
-            self._on_ack(message.src, block)
-        elif message.kind == msg.FETCH_DATA:
-            self._on_fetch_data(message.src, block)
-        elif message.kind == msg.EVICT_WB:
-            self._on_evict_wb(message.src, block)
-        elif message.kind == msg.RELINQ:
-            entry = self.entry_for(block)
-            if entry.state is DirState.READ_ONLY:
-                entry.sharers.discard(message.src)
-                if not entry.sharers:
-                    entry.state = DirState.ABSENT
-            self._defer_sends(TrapKind.REMOTE_REQUEST,
-                              self.iface.cost_model.ack(), [])
-        else:
-            raise ProtocolStateError(f"H0 home received {message.kind}")
-
-    def _defer_sends(self, kind: TrapKind, cost, sends, pointers: int = 0,
-                     grants=()) -> None:
-        """Charge a handler and launch ``sends`` when it completes."""
-        def complete() -> None:
-            for index, (mkind, dst, block, requester) in enumerate(sends):
-                self.iface.transmit(mkind, dst, block,
-                                    requester=requester, index=index)
-            for grant in grants:
-                self.node.machine.note_grant(*grant)
-        self.iface.run_handler(kind, cost, complete, pointers=pointers)
-
-    # ------------------------------------------------------------------
-    # Requests
-    # ------------------------------------------------------------------
-
-    def _on_request(self, kind: str, requester: int, block: int) -> None:
-        entry = self.entry_for(block)
-        local = requester == self.node.id
-
-        if local and not entry.remote_bit:
-            # Uniprocessor fast path: no software involved (Section 2.3).
-            self._local_fast_path(kind, entry)
-            return
-
-        trap_kind = TrapKind.LOCAL_FAULT if local else TrapKind.REMOTE_REQUEST
-        if entry.state.transient:
-            # Software is mid-transaction on this block; even the busy
-            # reply costs a handler dispatch under the software-only
-            # directory.
-            self.node.stats.busy_replies += 1
-            self._defer_sends(trap_kind, self.iface.cost_model.ack(),
-                              [(msg.BUSY, requester, block, None)])
-            return
-
-        if not local:
-            entry.remote_bit = True
-        if kind == msg.RREQ:
-            self._read(entry, requester, trap_kind)
-        else:
-            self._write(entry, requester, trap_kind)
-
-    def _local_fast_path(self, kind: str, entry: SoftwareDirEntry) -> None:
-        home = self.node.id
-        block = entry.block
-        if entry.state is DirState.READ_WRITE:
-            # Only the home holds copies while the bit is clear; a miss on
-            # an owned block means the dirty copy's write-back is in
-            # flight.  Retry until it lands.
-            self.node.stats.busy_replies += 1
-            self.node.send_protocol(msg.BUSY, home, block,
-                                    extra_delay=DIR_LATENCY)
-            return
-        if kind == msg.RREQ:
-            entry.state = DirState.READ_ONLY
-            entry.sharers.add(home)
-            reply = msg.RDATA
-        else:
-            entry.state = DirState.READ_WRITE
-            entry.owner = home
-            entry.sharers = {home}
-            reply = msg.WDATA
-        self.node.send_protocol(reply, home, block, requester=home,
-                                extra_delay=self.mem_latency)
-        self.node.machine.note_grant(block, home, write=reply is msg.WDATA)
-
-    def _read(self, entry: SoftwareDirEntry, requester: int,
-              trap_kind: TrapKind) -> None:
-        block = entry.block
-        if entry.state is DirState.READ_WRITE:
-            owner = entry.owner
-            assert owner is not None
-            if owner == requester:
-                self.node.stats.busy_replies += 1
-                self._defer_sends(trap_kind, self.iface.cost_model.ack(),
-                                  [(msg.BUSY, requester, block, None)])
-                return
-            self._start_fetch(entry, requester, owner, trap_kind,
-                              is_read=True)
-            return
-        sends = []
-        if requester != self.node.id and self.node.id in entry.sharers:
-            # Flush the home's own copy (Section 2.3): once the
-            # remote-access bit is set, local accesses must trap too.
-            sends.append((msg.INV, self.node.id, block, None))
-            self.node.stats.invalidations_sw += 1
-            self._flush_acks[block] = self._flush_acks.get(block, 0) + 1
-            entry.sharers.discard(self.node.id)
-        entry.state = DirState.READ_ONLY
-        entry.sharers.add(requester)
-        sends.append((msg.RDATA, requester, block, requester))
-        small = self.iface.is_small_set(len(entry.sharers))
-        cost = self.iface.cost_model.sw_request("read", 1, small)
-        self._defer_sends(trap_kind, cost, sends, pointers=1,
-                          grants=[(block, requester)])
-
-    def _write(self, entry: SoftwareDirEntry, requester: int,
-               trap_kind: TrapKind) -> None:
-        block = entry.block
-        if entry.state is DirState.READ_WRITE:
-            owner = entry.owner
-            assert owner is not None
-            if owner == requester:
-                self.node.stats.busy_replies += 1
-                self._defer_sends(trap_kind, self.iface.cost_model.ack(),
-                                  [(msg.BUSY, requester, block, None)])
-                return
-            self._start_fetch(entry, requester, owner, trap_kind,
-                              is_read=False)
-            return
-        targets = set(entry.sharers)
-        targets.discard(requester)
-        small = self.iface.is_small_set(len(targets))
-        cost = self.iface.cost_model.sw_request("write", len(targets), small)
-        if not targets:
-            entry.state = DirState.READ_WRITE
-            entry.owner = requester
-            entry.sharers = {requester}
-            self._defer_sends(trap_kind, cost,
-                              [(msg.WDATA, requester, block, requester)],
-                              grants=[(block, requester, True)])
-            return
-        entry.state = DirState.WRITE_TRANSACTION
-        entry.pending_requester = requester
-        entry.sw_ack_count = len(targets)
-        entry.sharers = set()
-        sends = [(msg.INV, target, block, requester)
-                 for target in sorted(targets)]
-        self.node.stats.invalidations_sw += len(targets)
-        self._defer_sends(trap_kind, cost, sends, pointers=len(targets))
-
-    def _start_fetch(self, entry: SoftwareDirEntry, requester: int,
-                     owner: int, trap_kind: TrapKind, is_read: bool) -> None:
-        # The software-only directory always invalidates the owner (the
-        # flush behaviour of Section 2.3), so after the fetch completes
-        # only the requester holds a copy.
-        entry.state = (DirState.READ_TRANSACTION if is_read
-                       else DirState.WRITE_TRANSACTION)
-        entry.pending_requester = requester
-        entry.owner = owner
-        entry.sw_ack_count = 0
-        cost = self.iface.cost_model.sw_request(
-            "read" if is_read else "write", 1)
-        self._defer_sends(trap_kind, cost,
-                          [(msg.FETCH_INV, owner, entry.block, requester)],
-                          pointers=1)
-
-    # ------------------------------------------------------------------
-    # Responses (every one of them traps)
-    # ------------------------------------------------------------------
-
-    def _on_ack(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is not None and (
-                entry.state is DirState.WRITE_TRANSACTION
-                and entry.sw_ack_count > 0):
-            entry.sw_ack_count -= 1
-            if entry.sw_ack_count > 0:
-                self._defer_sends(TrapKind.ACK_SOFTWARE,
-                                  self.iface.cost_model.ack(), [])
-                return
-            requester = entry.pending_requester
-            assert requester is not None
-            entry.state = DirState.READ_WRITE
-            entry.owner = requester
-            entry.sharers = {requester}
-            entry.pending_requester = None
-            self._defer_sends(TrapKind.ACK_LAST,
-                              self.iface.cost_model.last_ack(),
-                              [(msg.WDATA, requester, block, requester)],
-                              grants=[(block, requester, True)])
-            return
-        flushes = self._flush_acks.get(block, 0)
-        if flushes > 0:
-            if flushes == 1:
-                del self._flush_acks[block]
-            else:
-                self._flush_acks[block] = flushes - 1
-            self._defer_sends(TrapKind.ACK_SOFTWARE,
-                              self.iface.cost_model.ack(), [])
-            return
-        raise ProtocolStateError(f"stray H0 ack from {src} for block {block}")
-
-    def _on_fetch_data(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is None or not entry.state.transient or entry.owner != src:
-            raise ProtocolStateError(f"stray H0 fetch data for block {block}")
-        requester = entry.pending_requester
-        assert requester is not None
-        cost = self.iface.cost_model.last_ack()
-        if entry.state is DirState.READ_TRANSACTION:
-            entry.state = DirState.READ_ONLY
-            entry.owner = None
-            entry.sharers = {requester}
-            entry.pending_requester = None
-            self._defer_sends(TrapKind.REMOTE_REQUEST, cost,
-                              [(msg.RDATA, requester, block, requester)],
-                              grants=[(block, requester)])
-        else:
-            entry.state = DirState.READ_WRITE
-            entry.owner = requester
-            entry.sharers = {requester}
-            entry.pending_requester = None
-            self._defer_sends(TrapKind.REMOTE_REQUEST, cost,
-                              [(msg.WDATA, requester, block, requester)],
-                              grants=[(block, requester, True)])
-
-    def _on_evict_wb(self, src: int, block: int) -> None:
-        entry = self.entries.get(block)
-        if entry is None:
-            raise ProtocolStateError(f"H0 write-back for untracked {block}")
-        if entry.state.transient and entry.owner == src:
-            # Crossed our fetch in flight: treat it as the response.
-            self._on_fetch_data(src, block)
-            return
-        if entry.state is DirState.READ_WRITE and entry.owner == src:
-            entry.state = DirState.ABSENT
-            entry.owner = None
-            entry.sharers = set()
-            if src == self.node.id and not entry.remote_bit:
-                return  # still private: no trap, uniprocessor behaviour
-            self._defer_sends(TrapKind.REMOTE_REQUEST,
-                              self.iface.cost_model.ack(), [])
-            return
-        raise ProtocolStateError(
-            f"unexpected H0 write-back from {src} in state {entry.state}"
-        )
+    Builds a :class:`~repro.core.protocol.engine.HomeProtocolEngine`
+    over a :class:`~repro.core.protocol.backends.SoftwareOnlyBackend`.
+    """
+    return HomeProtocolEngine(
+        node, spec, SoftwareOnlyBackend(node, spec, interface)
+    )

@@ -1,0 +1,56 @@
+"""Declarative protocol core: tables, backends, engine, invariants.
+
+Every point of the paper's protocol spectrum — full-map hardware,
+n-pointer hardware with software extension, and the software-only
+directory — runs through one table-driven
+:class:`~repro.core.protocol.engine.HomeProtocolEngine`.  The engine
+interprets a :class:`~repro.core.protocol.table.ProtocolTable` of
+guarded transitions against a pluggable
+:class:`~repro.core.protocol.backends.DirectoryBackend` that supplies
+the guard predicates and action methods; the same mechanism feeds the
+continuous invariant checker
+(:class:`~repro.core.protocol.invariants.InvariantChecker`) and the
+documentation renderer (:mod:`repro.core.protocol.render`).
+"""
+
+from repro.core.protocol.backends import (
+    DIR_LATENCY,
+    HW_INV_SPACING,
+    MIGRATORY_THRESHOLD,
+    DirectoryBackend,
+    FullMapBackend,
+    LimitedPointerBackend,
+    SoftwareOnlyBackend,
+)
+from repro.core.protocol.engine import HomeProtocolEngine, build_home_engine
+from repro.core.protocol.invariants import InvariantChecker, InvariantViolation
+from repro.core.protocol.render import render_transition_table
+from repro.core.protocol.table import (
+    HARDWARE_TABLE,
+    SOFTWARE_ONLY_TABLE,
+    EventPolicy,
+    ProtocolTable,
+    Transition,
+    allowed_after,
+)
+
+__all__ = [
+    "DIR_LATENCY",
+    "HW_INV_SPACING",
+    "MIGRATORY_THRESHOLD",
+    "DirectoryBackend",
+    "FullMapBackend",
+    "LimitedPointerBackend",
+    "SoftwareOnlyBackend",
+    "HomeProtocolEngine",
+    "build_home_engine",
+    "InvariantChecker",
+    "InvariantViolation",
+    "render_transition_table",
+    "HARDWARE_TABLE",
+    "SOFTWARE_ONLY_TABLE",
+    "EventPolicy",
+    "ProtocolTable",
+    "Transition",
+    "allowed_after",
+]

@@ -1,0 +1,92 @@
+"""Render protocol transition tables as markdown.
+
+``docs/protocols.md`` embeds the hardware table rendered by this module
+between marker comments; a documentation test re-renders it and diffs,
+so the prose cannot drift from the executable table.  The renderer is
+deliberately dumb — one markdown row per :class:`Transition`, in table
+order, because the *order* is the priority encoding.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.protocol.table import (
+    HARDWARE_TABLE,
+    SOFTWARE_ONLY_TABLE,
+    ProtocolTable,
+    Transition,
+)
+
+__all__ = ["render_transition_table", "embed_rendered_tables"]
+
+#: Marker slug -> table, for :func:`embed_rendered_tables`.
+EMBEDDED_TABLES = {
+    "hardware": HARDWARE_TABLE,
+    "software-only": SOFTWARE_ONLY_TABLE,
+}
+
+_HEADER = ("| Event | State(s) | Guard | Action | Next | Notes |\n"
+           "|---|---|---|---|---|---|\n")
+
+
+def _states_cell(row: Transition) -> str:
+    if row.states is None:
+        return "any"
+    return ", ".join(f"`{s.value}`" for s in row.states)
+
+
+def _next_cell(row: Transition) -> str:
+    if row.next_state is None:
+        return "—"
+    if row.next_state == "deferred":
+        return "*deferred*"
+    if row.next_state == "same":
+        return "*unchanged*"
+    return " / ".join(f"`{s}`" for s in row.next_state.split("|"))
+
+
+def render_transition_table(table: ProtocolTable) -> str:
+    """Markdown table for ``table``, one row per transition.
+
+    Rows keep table order (first match wins); a dash guard means the
+    row fires unconditionally once reached.
+    """
+    lines = [_HEADER]
+    for row in table.transitions:
+        guard = f"`{row.guard}`" if row.guard else "—"
+        lines.append(
+            f"| `{row.event}` | {_states_cell(row)} | {guard} "
+            f"| `{row.action}` | {_next_cell(row)} "
+            f"| {row.description} |\n"
+        )
+    return "".join(lines)
+
+
+def embed_rendered_tables(text: str) -> str:
+    """Refresh the rendered tables between marker comments in ``text``.
+
+    Markers look like ``<!-- protocol-table:hardware:begin -->`` /
+    ``...:end -->``; everything between a begin/end pair is replaced
+    with the freshly rendered table for that slug
+    (see :data:`EMBEDDED_TABLES`).  ``tools/render_protocol_docs.py``
+    rewrites ``docs/protocols.md`` with this, and a documentation test
+    asserts the file is a fixed point — so the docs cannot drift from
+    the executable tables.
+    """
+    for slug, table in EMBEDDED_TABLES.items():
+        begin = f"<!-- protocol-table:{slug}:begin -->"
+        end = f"<!-- protocol-table:{slug}:end -->"
+        pattern = re.compile(
+            re.escape(begin) + r"\n.*?" + re.escape(end), re.DOTALL
+        )
+        replacement = (
+            f"{begin}\n{render_transition_table(table)}{end}"
+        )
+        text, count = pattern.subn(lambda _m: replacement, text)
+        if count != 1:
+            raise ValueError(
+                f"expected exactly one {begin!r}..{end!r} marker pair, "
+                f"found {count}"
+            )
+    return text

@@ -1,0 +1,439 @@
+"""Declarative transition tables for the home-side coherence protocol.
+
+A protocol is a list of guarded transitions ``(event, states, guard) ->
+action, next_state`` — plain data, interpreted by
+:class:`~repro.core.protocol.engine.HomeProtocolEngine`.  ``guard`` and
+``action`` name methods on the :class:`~repro.core.protocol.backends.
+DirectoryBackend` the engine is parameterized with; the engine resolves
+them once at construction, so a table row costs one bound-method call
+per evaluation.
+
+Rows for an event are evaluated **in table order** against the entry's
+current directory state; the first row whose state set matches and whose
+guard passes fires, exactly like the cascaded ``if``/``elif`` chains of
+the hand-written controllers these tables replaced (the A/B fixture in
+``tests/test_protocol_equivalence.py`` proves the translation exact).
+
+``next_state`` is a *claim*, not an instruction: actions mutate the
+entry themselves (they need to order sends, traps and counter updates
+precisely), and the declared label is checked against the actual
+post-state by the invariant checker
+(:class:`~repro.core.protocol.invariants.InvariantChecker`) and rendered
+into ``docs/protocols.md``.  The label grammar is
+:func:`allowed_after`'s input: a ``|``-separated list of
+:class:`~repro.common.types.DirState` values, ``"same"`` (state must
+not change), or ``"deferred"`` (the action hands off to a software
+handler whose completion mutates the entry later — no claim is
+checkable at transition time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.common.types import DirState
+
+__all__ = [
+    "Transition",
+    "EventPolicy",
+    "ProtocolTable",
+    "allowed_after",
+    "HARDWARE_TABLE",
+    "SOFTWARE_ONLY_TABLE",
+]
+
+#: Shorthand used when writing the tables below.
+_A = DirState.ABSENT
+_RO = DirState.READ_ONLY
+_RW = DirState.READ_WRITE
+_RT = DirState.READ_TRANSACTION
+_WT = DirState.WRITE_TRANSACTION
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One guarded transition row.
+
+    ``states`` restricts the row to entries currently in one of the
+    listed directory states; ``None`` is a wildcard (the row also
+    applies when the event's policy looks up a *missing* entry, where
+    there is no state to match).  ``guard`` names a backend predicate
+    ``(entry, src, block) -> bool`` (``None`` = always fires);
+    ``action`` names the backend mutator that implements the
+    transition.  ``next_state`` is the declared post-state label (see
+    :func:`allowed_after`).
+    """
+
+    event: str
+    states: Optional[Tuple[DirState, ...]]
+    action: str
+    guard: Optional[str] = None
+    next_state: Optional[str] = None
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class EventPolicy:
+    """How the engine obtains an entry and treats unmatched events.
+
+    ``lookup`` is ``"create"`` (requests allocate directory entries on
+    first touch) or ``"get"`` (responses must find an existing entry).
+    ``fallback`` is ``"error"`` (no matching row calls the backend's
+    ``no_rule``, which raises :class:`~repro.common.errors.
+    ProtocolStateError`) or ``"ignore"`` (silently dropped — e.g. a
+    stale CICO check-in racing a write transaction).
+    """
+
+    lookup: str = "get"
+    fallback: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.lookup not in ("create", "get"):
+            raise ValueError(f"bad lookup policy {self.lookup!r}")
+        if self.fallback not in ("error", "ignore"):
+            raise ValueError(f"bad fallback policy {self.fallback!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolTable:
+    """A complete home-side protocol: rows plus per-event policies."""
+
+    name: str
+    description: str
+    transitions: Tuple[Transition, ...]
+    policies: Dict[str, EventPolicy]
+
+    def events(self) -> Tuple[str, ...]:
+        """The event kinds this table serves, in declaration order."""
+        return tuple(self.policies)
+
+    def rows_for(self, event: str) -> Tuple[Transition, ...]:
+        """All rows for ``event``, in table (= evaluation) order."""
+        return tuple(t for t in self.transitions if t.event == event)
+
+
+def allowed_after(label: Optional[str]):
+    """Parse a ``next_state`` label into the checkable claim it makes.
+
+    Returns ``None`` when the label makes no claim (``None`` itself, or
+    ``"deferred"``), the string ``"same"``, or a frozenset of
+    :class:`~repro.common.types.DirState` values the entry may be in
+    after the action.
+    """
+    if label is None or label == "deferred":
+        return None
+    if label == "same":
+        return "same"
+    return frozenset(DirState(part) for part in label.split("|"))
+
+
+# ----------------------------------------------------------------------
+# The hardware-directory table (full-map, limited-pointer + software
+# extension, and the Dir1SW broadcast protocol — which backend features
+# fire is decided by the entry's per-block spec and the guards).
+# ----------------------------------------------------------------------
+
+HARDWARE_TABLE = ProtocolTable(
+    name="hardware",
+    description=(
+        "CMMU hardware directory with optional software extension: "
+        "full-map, DirnHkSNB (k hardware pointers, overflow to a "
+        "software hash table), and the Dir1SW broadcast protocol."
+    ),
+    transitions=(
+        # -- read requests ---------------------------------------------
+        Transition(
+            "rreq", None, "read_busy", guard="busy", next_state="same",
+            description="transaction in flight (or a handler queued): "
+                        "reply BUSY; a reader racing a migratory handoff "
+                        "is reversion evidence"),
+        Transition(
+            "rreq", (_A,), "read_absent", next_state="read_only",
+            description="first copy: record the reader, grant RDATA"),
+        Transition(
+            "rreq", (_RO,), "read_record", guard="reader_fits",
+            next_state="read_only",
+            description="a hardware pointer is free (or the reader is "
+                        "already recorded): record, grant"),
+        Transition(
+            "rreq", (_RO,), "read_untracked", guard="broadcast_mode",
+            next_state="read_only",
+            description="Dir1..B overflow: set the broadcast flag, count "
+                        "the untracked copy, grant without trapping"),
+        Transition(
+            "rreq", (_RO,), "read_overflow", next_state="deferred",
+            description="pointer overflow: trap the read-overflow "
+                        "handler (empty pointers into software)"),
+        Transition(
+            "rreq", (_RW,), "reply_busy", guard="from_owner",
+            next_state="same",
+            description="owner's write-back is in flight: retry"),
+        Transition(
+            "rreq", (_RW,), "read_fetch_exclusive", guard="migratory_block",
+            next_state="write_transaction",
+            description="migratory block: serve the read like a write "
+                        "(FETCH_INV, exclusive grant)"),
+        Transition(
+            "rreq", (_RW,), "read_fetch_shared",
+            next_state="read_transaction",
+            description="recall the dirty copy (FETCH_RD, or FETCH_INV "
+                        "when the pointers cannot hold both nodes)"),
+        # -- write requests --------------------------------------------
+        Transition(
+            "wreq", None, "reply_busy", guard="busy", next_state="same",
+            description="transaction in flight: reply BUSY"),
+        Transition(
+            "wreq", (_A,), "write_absent", next_state="read_write",
+            description="no copies: grant exclusive"),
+        Transition(
+            "wreq", (_RO,), "write_broadcast", guard="extended_broadcast",
+            next_state="deferred",
+            description="Dir1..B extended: trap software to broadcast "
+                        "INV to every other node"),
+        Transition(
+            "wreq", (_RO,), "write_extended", guard="extended_dir",
+            next_state="deferred",
+            description="directory extended into software: trap the "
+                        "write handler (pointers + extension - writer)"),
+        Transition(
+            "wreq", (_RO,), "write_sole_sharer", guard="sole_sharer",
+            next_state="read_write",
+            description="writer is the only tracked sharer: upgrade in "
+                        "place (also migratory-detection evidence)"),
+        Transition(
+            "wreq", (_RO,), "write_invalidate",
+            next_state="write_transaction",
+            description="hardware sends one INV per tracked sharer and "
+                        "arms the acknowledgement counter"),
+        Transition(
+            "wreq", (_RW,), "reply_busy", guard="from_owner",
+            next_state="same",
+            description="owner's write-back is in flight: retry"),
+        Transition(
+            "wreq", (_RW,), "write_fetch_exclusive",
+            next_state="write_transaction",
+            description="invalidate the owner (FETCH_INV); its data "
+                        "completes the write"),
+        # -- acknowledgements ------------------------------------------
+        Transition(
+            "ack", (_WT,), "ack_sequential", guard="seq_invalidation",
+            next_state="deferred",
+            description="sequential invalidation: this ack's trap "
+                        "launches the next INV (or transmits the data)"),
+        Transition(
+            "ack", (_WT,), "ack_software", guard="sw_counted_acks",
+            next_state="deferred",
+            description=",ACK protocol: every ack traps; software "
+                        "counts in the extension record"),
+        Transition(
+            "ack", (_WT,), "ack_countdown", guard="acks_remaining",
+            next_state="same",
+            description="hardware counts down"),
+        Transition(
+            "ack", (_WT,), "ack_last_trap", guard="final_lack",
+            next_state="deferred",
+            description=",LACK protocol: the last ack traps software, "
+                        "which transmits the data"),
+        Transition(
+            "ack", (_WT,), "ack_complete", guard="final_ack",
+            next_state="read_write",
+            description="last ack: hardware grants exclusive"),
+        Transition(
+            "ack", (_WT,), "ack_underflow",
+            description="more acks than invalidations: protocol error"),
+        # -- fetch responses -------------------------------------------
+        Transition(
+            "fetch_data", (_RT,), "fetch_complete_read",
+            next_state="read_only",
+            description="owner's data for a read fetch: record owner "
+                        "(unless invalidated) + requester, grant RDATA"),
+        Transition(
+            "fetch_data", (_WT,), "fetch_complete_write",
+            next_state="read_write",
+            description="owner's data for a write fetch: grant "
+                        "exclusive to the requester"),
+        # -- evictions -------------------------------------------------
+        Transition(
+            "evict_wb", (_RW,), "writeback_release", guard="from_owner",
+            next_state="absent",
+            description="owner wrote the dirty copy back: entry empties"),
+        Transition(
+            "evict_wb", (_RT,), "writeback_completes_read",
+            guard="from_pending_owner", next_state="read_only",
+            description="write-back crossed our fetch: treat it as the "
+                        "fetch response (owner keeps no copy)"),
+        Transition(
+            "evict_wb", (_WT,), "writeback_completes_write",
+            guard="from_pending_owner", next_state="read_write",
+            description="write-back crossed our fetch: completes the "
+                        "pending write"),
+        # -- CICO check-ins --------------------------------------------
+        Transition(
+            "relinq", (_RO,), "relinq_drop", guard="tracked_sharer",
+            next_state="read_only|absent",
+            description="drop the sharer's hardware pointer; an empty "
+                        "unextended entry resets to ABSENT"),
+        Transition(
+            "relinq", (_RO,), "relinq_checkin", guard="untracked_copies",
+            next_state="read_only|absent",
+            description="Dir1..B: count the untracked copy back in; a "
+                        "full round of check-ins clears the broadcast "
+                        "flag"),
+        Transition(
+            "relinq", (_RO,), "relinq_stale",
+            next_state="read_only|absent",
+            description="pointer lives in the software extension (or "
+                        "is already gone): stale, harmless"),
+    ),
+    policies={
+        "rreq": EventPolicy(lookup="create"),
+        "wreq": EventPolicy(lookup="create"),
+        "ack": EventPolicy(lookup="get"),
+        "fetch_data": EventPolicy(lookup="get"),
+        "evict_wb": EventPolicy(lookup="get"),
+        "relinq": EventPolicy(lookup="get", fallback="ignore"),
+    },
+)
+
+
+# ----------------------------------------------------------------------
+# The software-only directory table (DirnH0SNB,ACK — Section 2.3).
+# Unlike the hardware table, actions mutate the entry *atomically at
+# message delivery* and defer only the outgoing messages behind the
+# handler occupancy (several handlers can be queued at once, so
+# deferring the mutations would let them interleave incorrectly).
+# ----------------------------------------------------------------------
+
+SOFTWARE_ONLY_TABLE = ProtocolTable(
+    name="software-only",
+    description=(
+        "DirnH0SNB,ACK software-only directory: one remote-access bit "
+        "per block; local data runs at uniprocessor speed until the "
+        "first inter-node request, after which every coherence event "
+        "traps the home's processor."
+    ),
+    transitions=(
+        # -- read requests ---------------------------------------------
+        Transition(
+            "rreq", (_RW,), "local_miss_busy", guard="local_private",
+            next_state="same",
+            description="home's own write-back in flight on private "
+                        "data: retry, no software involved"),
+        Transition(
+            "rreq", None, "local_read_grant", guard="local_private",
+            next_state="read_only",
+            description="remote-access bit clear: uniprocessor fast "
+                        "path, no trap"),
+        Transition(
+            "rreq", (_RT, _WT), "busy_trap", next_state="same",
+            description="software mid-transaction: even the BUSY reply "
+                        "costs a handler dispatch"),
+        Transition(
+            "rreq", (_RW,), "owner_busy_trap", guard="from_owner",
+            next_state="same",
+            description="owner's write-back is in flight: retry"),
+        Transition(
+            "rreq", (_RW,), "read_fetch", next_state="read_transaction",
+            description="fetch the dirty copy; the software-only "
+                        "directory always invalidates the owner"),
+        Transition(
+            "rreq", None, "read_grant", next_state="read_only",
+            description="record the reader and send the data; the first "
+                        "remote request also flushes the home's copy"),
+        # -- write requests --------------------------------------------
+        Transition(
+            "wreq", (_RW,), "local_miss_busy", guard="local_private",
+            next_state="same",
+            description="home's own write-back in flight on private "
+                        "data: retry, no software involved"),
+        Transition(
+            "wreq", None, "local_write_grant", guard="local_private",
+            next_state="read_write",
+            description="remote-access bit clear: uniprocessor fast "
+                        "path, no trap"),
+        Transition(
+            "wreq", (_RT, _WT), "busy_trap", next_state="same",
+            description="software mid-transaction: BUSY via a handler"),
+        Transition(
+            "wreq", (_RW,), "owner_busy_trap", guard="from_owner",
+            next_state="same",
+            description="owner's write-back is in flight: retry"),
+        Transition(
+            "wreq", (_RW,), "write_fetch", next_state="write_transaction",
+            description="invalidate the owner; its data completes the "
+                        "write"),
+        Transition(
+            "wreq", None, "write_grant", guard="no_other_sharers",
+            next_state="read_write",
+            description="no other copies: grant exclusive from the "
+                        "handler"),
+        Transition(
+            "wreq", None, "write_invalidate",
+            next_state="write_transaction",
+            description="software sends one INV per sharer and counts "
+                        "every acknowledgement"),
+        # -- acknowledgements (every one traps) ------------------------
+        Transition(
+            "ack", (_WT,), "ack_countdown", guard="acks_remaining",
+            next_state="same",
+            description="software counts down; each ack costs a trap"),
+        Transition(
+            "ack", (_WT,), "ack_complete", guard="final_ack",
+            next_state="read_write",
+            description="last ack: software grants exclusive"),
+        Transition(
+            "ack", None, "flush_ack", guard="flush_pending",
+            next_state="same",
+            description="ack for a home-copy flush with no write "
+                        "transaction waiting on it"),
+        # -- fetch responses -------------------------------------------
+        Transition(
+            "fetch_data", (_RT,), "fetch_complete_read",
+            guard="from_owner", next_state="read_only",
+            description="owner's data for a read fetch: only the "
+                        "requester holds a copy afterwards"),
+        Transition(
+            "fetch_data", (_WT,), "fetch_complete_write",
+            guard="from_owner", next_state="read_write",
+            description="owner's data for a write fetch: exclusive "
+                        "grant"),
+        # -- evictions -------------------------------------------------
+        Transition(
+            "evict_wb", (_RT,), "fetch_complete_read", guard="from_owner",
+            next_state="read_only",
+            description="write-back crossed our fetch: treat it as the "
+                        "fetch response"),
+        Transition(
+            "evict_wb", (_WT,), "fetch_complete_write", guard="from_owner",
+            next_state="read_write",
+            description="write-back crossed our fetch: completes the "
+                        "pending write"),
+        Transition(
+            "evict_wb", (_RW,), "writeback_private",
+            guard="private_writeback", next_state="absent",
+            description="still private (bit clear): uniprocessor "
+                        "behaviour, no trap"),
+        Transition(
+            "evict_wb", (_RW,), "writeback_trap", guard="from_owner",
+            next_state="absent",
+            description="owner wrote back; the bookkeeping traps"),
+        # -- CICO check-ins --------------------------------------------
+        Transition(
+            "relinq", (_RO,), "relinq_shared",
+            next_state="read_only|absent",
+            description="drop the sharer; an empty entry resets to "
+                        "ABSENT; the bookkeeping traps"),
+        Transition(
+            "relinq", None, "relinq_ack", next_state="same",
+            description="stale check-in: acknowledge via a handler"),
+    ),
+    policies={
+        "rreq": EventPolicy(lookup="create"),
+        "wreq": EventPolicy(lookup="create"),
+        "ack": EventPolicy(lookup="get"),
+        "fetch_data": EventPolicy(lookup="get"),
+        "evict_wb": EventPolicy(lookup="get"),
+        "relinq": EventPolicy(lookup="create"),
+    },
+)

@@ -32,7 +32,7 @@ from repro.core.software.interface import CoherenceInterface
 from repro.core.spec import AckMode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.home import HardwareHomeController
+    from repro.core.protocol.backends import LimitedPointerBackend
 
 
 #: worker sets at or below this size use the sequential procedure when
@@ -43,7 +43,7 @@ SEQUENTIAL_THRESHOLD = 4
 class ProtocolSoftware:
     """Software extension handlers for the hardware-directory protocols."""
 
-    def __init__(self, home: "HardwareHomeController",
+    def __init__(self, home: "LimitedPointerBackend",
                  interface: CoherenceInterface) -> None:
         self.home = home
         self.iface = interface

@@ -33,7 +33,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Optional
+
+
+class _Expired(Exception):
+    """Internal marker: a cache file exceeded the prune age limit."""
 
 from repro.exec.jobs import SimJob, canonical_dict
 from repro.sim.stats import RunStats
@@ -131,13 +136,21 @@ class ResultCache:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def prune(self) -> int:
-        """Delete every entry whose key no longer matches its contents'
-        spec under the *current* versions (i.e. files written by older
-        cost models or package versions).  Returns the number removed."""
+    def prune(self, max_age: Optional[float] = None,
+              dry_run: bool = False) -> int:
+        """Delete stale cache entries; returns the number removed.
+
+        An entry is stale when its key no longer matches its contents'
+        spec under the *current* versions (i.e. it was written by an
+        older cost model or package version) — or, when ``max_age`` is
+        given, when its file is older than that many seconds (by
+        modification time).  With ``dry_run`` nothing is deleted; the
+        return value is the number that *would* be removed.
+        """
         removed = 0
         if not os.path.isdir(self.root):
             return 0
+        now = time.time()
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in filenames:
                 if not name.endswith(".json"):
@@ -145,6 +158,9 @@ class ResultCache:
                 path = os.path.join(dirpath, name)
                 stale = True
                 try:
+                    if max_age is not None \
+                            and now - os.path.getmtime(path) > max_age:
+                        raise _Expired
                     with open(path, "r", encoding="utf-8") as fh:
                         doc = json.load(fh)
                     job_doc = doc.get("job", {})
@@ -159,14 +175,15 @@ class ResultCache:
                     expected = hashlib.sha256(
                         encoded.encode("utf-8")).hexdigest()
                     stale = name != expected + ".json"
-                except (OSError, ValueError):
+                except (OSError, ValueError, _Expired):
                     stale = True
                 if stale:
-                    try:
-                        os.unlink(path)
-                        removed += 1
-                    except OSError:
-                        pass
+                    removed += 1
+                    if not dry_run:
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            removed -= 1
         return removed
 
 

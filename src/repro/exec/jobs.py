@@ -134,11 +134,17 @@ def job_key(job: SimJob) -> str:
 # Execution
 # ----------------------------------------------------------------------
 
-def execute_job(job: SimJob) -> RunStats:
+def execute_job(job: SimJob, check_invariants: bool = False) -> RunStats:
     """Run one job to completion on a fresh machine.
 
     Module-level (not a closure) so worker processes can unpickle and
-    call it directly.
+    call it directly.  With ``check_invariants`` a continuous
+    :class:`~repro.core.protocol.invariants.InvariantChecker` rides the
+    run (observers never perturb cycle counts, so the statistics are
+    identical either way) and any violation raises
+    :class:`~repro.core.protocol.invariants.InvariantViolation`.
+    ``check_invariants`` is an execution-mode flag, not part of the job
+    spec, so it never changes a job's cache key.
     """
     from repro.machine.machine import Machine
 
@@ -148,4 +154,13 @@ def execute_job(job: SimJob) -> RunStats:
         software=job.software,
         track_worker_sets=job.track_worker_sets,
     )
-    return machine.run(job.build_workload())
+    checker = None
+    if check_invariants:
+        from repro.core.protocol.invariants import InvariantChecker
+
+        checker = InvariantChecker.attach(machine)
+    stats = machine.run(job.build_workload())
+    if checker is not None:
+        checker.finish()
+        checker.assert_clean()
+    return stats

@@ -64,12 +64,21 @@ class JobRunner:
         Results are also memoised in-process for the runner's lifetime,
         so drivers sharing one runner never repeat a configuration even
         with the disk cache off.
+    check_invariants:
+        Run every *executed* job under the continuous protocol
+        invariant checker
+        (:class:`~repro.core.protocol.invariants.InvariantChecker`); a
+        violation raises out of :meth:`run`.  Checking never changes
+        results (observers are perturbation-free), so cached results
+        remain valid and are returned unchecked.
     """
 
     def __init__(self, jobs: JobsSpec = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 check_invariants: bool = False) -> None:
         self.n_workers = resolve_jobs(jobs)
         self.cache = cache
+        self.check_invariants = check_invariants
         self._memo: Dict[str, RunStats] = {}
         self.jobs_executed = 0
         self.jobs_deduplicated = 0
@@ -125,7 +134,10 @@ class JobRunner:
     def _run_serial(
         self, pending: "OrderedDict[str, SimJob]"
     ) -> Dict[str, RunStats]:
-        return {key: execute_job(job) for key, job in pending.items()}
+        return {
+            key: execute_job(job, check_invariants=self.check_invariants)
+            for key, job in pending.items()
+        }
 
     def _run_pool(
         self, pending: "OrderedDict[str, SimJob]"
@@ -136,7 +148,8 @@ class JobRunner:
         keys: List[str] = list(pending)
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {
-                key: executor.submit(execute_job, pending[key])
+                key: executor.submit(execute_job, pending[key],
+                                     self.check_invariants)
                 for key in keys
             }
             # Collect in plan order; completion order is irrelevant

@@ -7,13 +7,13 @@ the barrier tree.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ProtocolStateError
 from repro.core import messages as msg
 from repro.core.cache_ctrl import CacheController
-from repro.core.home import HardwareHomeController, SoftwareOnlyHomeController
 from repro.core.messages import ProtoPayload, message_size
+from repro.core.protocol import HomeProtocolEngine, build_home_engine
 from repro.machine.sync import LOCK_KINDS, REDUCE_KINDS
 from repro.core.software.interface import CoherenceInterface
 from repro.machine.processor import Processor
@@ -31,7 +31,7 @@ _HOME_SIDE = frozenset(
 )
 _BARRIER = frozenset({msg.BAR_UP, msg.BAR_DOWN})
 
-HomeController = Union[HardwareHomeController, SoftwareOnlyHomeController]
+HomeController = HomeProtocolEngine
 
 
 class Node:
@@ -49,13 +49,9 @@ class Node:
             self.interface = CoherenceInterface(
                 self, spec, machine.software_implementation
             )
-        if spec.is_software_only:
-            assert self.interface is not None
-            self.home: HomeController = SoftwareOnlyHomeController(
-                self, spec, self.interface
-            )
-        else:
-            self.home = HardwareHomeController(self, spec, self.interface)
+        self.home: HomeController = build_home_engine(
+            self, spec, self.interface
+        )
         self.processor.watchdog_enabled = machine.watchdog_enabled
 
     # ------------------------------------------------------------------

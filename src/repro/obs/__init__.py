@@ -27,6 +27,7 @@ from repro.obs.events import (
     HandlerSpan,
     MessageSent,
     StallSpan,
+    TransitionApplied,
     TrapPosted,
     UserSpan,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "HandlerSpan",
     "MessageSent",
     "StallSpan",
+    "TransitionApplied",
     "TrapPosted",
     "UserSpan",
     "Histogram",

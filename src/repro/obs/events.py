@@ -24,6 +24,7 @@ stall      processor stall completion            :class:`StallSpan`
 handler    ``Processor.post_trap``               :class:`HandlerSpan`
 trap       ``core/software/interface.py``        :class:`TrapPosted`
 message    ``network/fabric.py`` ``send``        :class:`MessageSent`
+transition ``core/protocol/engine.py`` dispatch  :class:`TransitionApplied`
 ========== ===================================== ==========================
 """
 
@@ -100,6 +101,32 @@ class MessageSent:
     block: Optional[int] = None
 
 
+@dataclasses.dataclass(frozen=True)
+class TransitionApplied:
+    """One fired rule of the table-driven home protocol engine.
+
+    Directory states are carried as their string values (e.g.
+    ``"read_only"``) so observers stay decoupled from the core's enum;
+    ``before``/``after`` are ``None`` when the event matched with no
+    directory entry (e.g. an acknowledgement for a pure home-copy
+    flush).  ``rule`` is the fired action's name, ``next_label`` the
+    table row's declared post-state claim, and ``busy`` whether the
+    entry was mid-transaction (transient state or queued software
+    handler) when the event arrived.
+    """
+
+    node: int
+    at: int
+    event: str
+    src: int
+    block: int
+    before: Optional[str]
+    after: Optional[str]
+    rule: str
+    next_label: Optional[str]
+    busy: bool
+
+
 class EventBus:
     """Fan-out of probe events to subscribers, one list per channel.
 
@@ -113,9 +140,10 @@ class EventBus:
     """
 
     __slots__ = ("on_advance", "on_user", "on_stall", "on_handler",
-                 "on_trap", "on_message")
+                 "on_trap", "on_message", "on_transition")
 
-    CHANNELS = ("advance", "user", "stall", "handler", "trap", "message")
+    CHANNELS = ("advance", "user", "stall", "handler", "trap", "message",
+                "transition")
 
     def __init__(self) -> None:
         self.on_advance: List[Callable[[int], None]] = []
@@ -124,6 +152,7 @@ class EventBus:
         self.on_handler: List[Callable[[HandlerSpan], None]] = []
         self.on_trap: List[Callable[[TrapPosted], None]] = []
         self.on_message: List[Callable[[MessageSent], None]] = []
+        self.on_transition: List[Callable[[TransitionApplied], None]] = []
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -178,4 +207,8 @@ class EventBus:
 
     def message(self, ev: MessageSent) -> None:
         for fn in self.on_message:
+            fn(ev)
+
+    def transition(self, ev: TransitionApplied) -> None:
+        for fn in self.on_transition:
             fn(ev)

@@ -9,6 +9,8 @@ with their full per-activity breakdown.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from collections import Counter
 from typing import Dict, List, Mapping, Optional
 
@@ -196,6 +198,20 @@ class RunStats:
                 else {int(size): count for size, count in histogram.items()}
             ),
         )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form of this result.
+
+        Two runs whose statistics are equal in *every* field — per-node
+        counters, handler samples, worker-set histogram — share a
+        digest.  The protocol-equivalence fixture
+        (``tests/test_protocol_equivalence.py``) pins these digests so a
+        refactor of the coherence engine is provably behaviour-preserving,
+        not merely cycle-count-preserving.
+        """
+        doc = json.dumps(self.to_json_dict(), sort_keys=True,
+                         separators=(",", ":"))
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Aggregates

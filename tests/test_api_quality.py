@@ -31,6 +31,12 @@ MODULES = [
     "repro.core.directory",
     "repro.core.home",
     "repro.core.messages",
+    "repro.core.protocol",
+    "repro.core.protocol.backends",
+    "repro.core.protocol.engine",
+    "repro.core.protocol.invariants",
+    "repro.core.protocol.render",
+    "repro.core.protocol.table",
     "repro.core.software",
     "repro.core.software.costmodel",
     "repro.core.software.extdir",

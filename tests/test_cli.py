@@ -104,6 +104,92 @@ class TestWorker:
         assert first == second
 
 
+class TestCheckInvariants:
+    def test_run_reports_zero_violations(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "aq",
+                            "--protocol", "DirnH2SNB", "--nodes", "16",
+                            "--check-invariants")
+        assert code == 0
+        assert "invariants" in out
+        assert "0 violations" in out
+
+    def test_checking_does_not_change_the_numbers(self, capsys):
+        args = ("run", "--app", "aq", "--nodes", "16")
+        _code, plain = run_cli(capsys, *args)
+        _code, checked = run_cli(capsys, *args, "--check-invariants")
+        assert plain == checked[:len(plain)]
+
+    def test_experiments_accepts_flag(self, capsys, tmp_path):
+        out_md = tmp_path / "EXPERIMENTS.md"
+        code, _out = run_cli(capsys, "experiments", "--quick",
+                             "--check-invariants", "--no-cache",
+                             "--out", str(out_md))
+        assert code == 0
+        assert out_md.exists()
+
+
+class TestCachePrune:
+    def _populate(self, cache_dir):
+        from repro.exec import ResultCache
+        from repro.exec.jobs import execute_job, make_job
+        from repro.workloads.aq import AdaptiveQuadrature
+
+        cache = ResultCache(str(cache_dir))
+        job = make_job(AdaptiveQuadrature, protocol="DirnH2SNB",
+                       n_nodes=16)
+        return cache.put(job, execute_job(job))
+
+    def test_prune_empty_cache(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "cache", "prune",
+                            "--cache-dir", str(tmp_path / "none"))
+        assert code == 0
+        assert "deleted 0" in out
+
+    def test_prune_keeps_current_entries(self, capsys, tmp_path):
+        path = self._populate(tmp_path)
+        code, out = run_cli(capsys, "cache", "prune",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "deleted 0" in out
+        import os
+        assert os.path.exists(path)
+
+    def test_max_age_dry_run_counts_without_deleting(self, capsys,
+                                                     tmp_path):
+        import os
+
+        path = self._populate(tmp_path)
+        code, out = run_cli(capsys, "cache", "prune",
+                            "--cache-dir", str(tmp_path),
+                            "--max-age", "0s", "--dry-run")
+        assert code == 0
+        assert "would delete 1" in out
+        assert os.path.exists(path)
+
+    def test_max_age_deletes_old_entries(self, capsys, tmp_path):
+        import os
+
+        path = self._populate(tmp_path)
+        code, out = run_cli(capsys, "cache", "prune",
+                            "--cache-dir", str(tmp_path),
+                            "--max-age", "0")
+        assert code == 0
+        assert "deleted 1" in out
+        assert not os.path.exists(path)
+
+    def test_max_age_units(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        code, out = run_cli(capsys, "cache", "prune",
+                            "--cache-dir", str(tmp_path),
+                            "--max-age", "7d")
+        assert code == 0
+        assert "deleted 0" in out
+
+    def test_bad_max_age_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--max-age", "soon"])
+
+
 class TestSweepAndCost:
     def test_sweep(self, capsys):
         code, out = run_cli(capsys, "sweep", "--app", "aq",

@@ -1,0 +1,48 @@
+"""The rendered tables in docs/protocols.md cannot drift from the code.
+
+``docs/protocols.md`` embeds markdown renderings of the executable
+protocol tables between marker comments; this test re-renders them and
+asserts the file is a fixed point.  If it fails, run::
+
+    PYTHONPATH=src python tools/render_protocol_docs.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.protocol import (
+    HARDWARE_TABLE,
+    SOFTWARE_ONLY_TABLE,
+    render_transition_table,
+)
+from repro.core.protocol.render import embed_rendered_tables
+
+DOC = Path(__file__).parent.parent / "docs" / "protocols.md"
+
+
+def test_protocols_doc_matches_executable_tables():
+    text = DOC.read_text(encoding="utf-8")
+    assert embed_rendered_tables(text) == text, (
+        "docs/protocols.md is stale; regenerate with "
+        "tools/render_protocol_docs.py"
+    )
+
+
+def test_doc_contains_both_rendered_tables():
+    text = DOC.read_text(encoding="utf-8")
+    for table in (HARDWARE_TABLE, SOFTWARE_ONLY_TABLE):
+        assert render_transition_table(table) in text
+
+
+@pytest.mark.parametrize("table", [HARDWARE_TABLE, SOFTWARE_ONLY_TABLE],
+                         ids=lambda t: t.name)
+def test_render_covers_every_transition(table):
+    rendered = render_transition_table(table)
+    for row in table.transitions:
+        assert f"`{row.action}`" in rendered
+
+
+def test_embed_rejects_missing_markers():
+    with pytest.raises(ValueError, match="marker pair"):
+        embed_rendered_tables("no markers here")

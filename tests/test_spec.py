@@ -118,6 +118,32 @@ class TestValidation:
                          sw_broadcast=False)
 
 
+class TestRoundTrip:
+    """``parse(str(spec)) == spec``: the notation is a faithful codec."""
+
+    @pytest.mark.parametrize("name", sorted(
+        set(PAPER_SPECTRUM) | set(ALEWIFE_SUPPORTED) | {"Dir1H1SB,LACK"}
+    ))
+    def test_spectrum_point_roundtrips(self, name):
+        spec = ProtocolSpec.parse(name)
+        assert ProtocolSpec.parse(str(spec)) == spec
+        assert str(spec) == spec.name
+
+    @pytest.mark.parametrize("bad", [
+        "", "Dir", "DirXH5SNB", "DirnH5", "DirnH5SNB,NACK", "DirnHS",
+        "Dirn H S", "DirnH-3SNB", "H5SNB", "DirnH5SNB,ACK,LACK",
+    ])
+    def test_malformed_names_raise_value_error(self, bad):
+        with pytest.raises(ValueError) as excinfo:
+            ProtocolSpec.parse(bad)
+        # The message should name the offending input (or explain the
+        # structural problem) so CLI users can see what to fix.
+        assert str(excinfo.value)
+
+    def test_spec_error_is_value_error(self):
+        assert issubclass(ProtocolSpecError, ValueError)
+
+
 class TestProperties:
     def test_spectrum_parses(self):
         for name in PAPER_SPECTRUM:

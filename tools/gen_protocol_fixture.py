@@ -1,0 +1,111 @@
+"""Regenerate the protocol-equivalence A/B fixture.
+
+The fixture (``tests/data/protocol_equivalence.json``) pins the exact
+``run_cycles`` and the full :meth:`~repro.sim.stats.RunStats.digest` of
+a matrix of deterministic runs across the protocol spectrum.  It was
+generated from the hand-written home controllers *before* the
+table-driven protocol engine replaced them; the test
+``tests/test_protocol_equivalence.py`` replays every configuration and
+asserts byte-identical statistics, proving the transition tables
+equivalent to the controllers they replaced.
+
+Regenerate only when simulated behaviour changes *intentionally* (e.g.
+a cost-model retune), and say so in the commit message::
+
+    PYTHONPATH=src python tools/gen_protocol_fixture.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.machine.machine import Machine  # noqa: E402
+from repro.machine.params import MachineParams  # noqa: E402
+from repro.workloads.aq import AdaptiveQuadrature  # noqa: E402
+from repro.workloads.worker import WorkerBenchmark  # noqa: E402
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)),
+    "tests", "data", "protocol_equivalence.json",
+)
+
+#: The six named spectrum points of the paper's Section 2.5 examples,
+#: plus the Dir1SW broadcast protocol (which exercises the
+#: broadcast/untracked paths none of the six reach).
+SPECTRUM = (
+    "DirnHNBS-",
+    "DirnH5SNB",
+    "DirnH1SNB,ACK",
+    "DirnH1SNB,LACK",
+    "DirnH1SNB",
+    "DirnH0SNB,ACK",
+    "Dir1H1SB,LACK",
+)
+
+
+def configurations():
+    """Yield (config_id, machine_kwargs, workload_factory) tuples."""
+    for protocol in SPECTRUM:
+        yield (
+            f"worker8x2-n16-{protocol}",
+            {"protocol": protocol},
+            lambda: WorkerBenchmark(worker_set_size=8, iterations=2),
+        )
+        yield (
+            f"aq-n16-{protocol}",
+            {"protocol": protocol},
+            lambda: AdaptiveQuadrature(),
+        )
+    # Section 7 enhancement paths: sequential/dynamic invalidation and
+    # migratory detection (exercises on_ack_sequential and the
+    # migratory fetch/revert transitions).
+    for protocol in ("DirnH5SNB", "DirnH2SNB"):
+        yield (
+            f"worker6x2-n16-seq-migratory-{protocol}",
+            {
+                "protocol": protocol,
+                "invalidation_mode": "sequential",
+                "migratory_detection": True,
+            },
+            lambda: WorkerBenchmark(worker_set_size=6, iterations=2),
+        )
+    # The optimized (assembly) software implementation of DirnH5SNB.
+    yield (
+        "worker8x2-n16-optimized-DirnH5SNB",
+        {"protocol": "DirnH5SNB", "software": "optimized"},
+        lambda: WorkerBenchmark(worker_set_size=8, iterations=2),
+    )
+
+
+def main() -> int:
+    entries = []
+    for config_id, machine_kwargs, workload_factory in configurations():
+        machine = Machine(MachineParams(n_nodes=16), **machine_kwargs)
+        stats = machine.run(workload_factory())
+        entries.append({
+            "id": config_id,
+            "machine": {k: (v if isinstance(v, (str, bool, int)) else str(v))
+                        for k, v in machine_kwargs.items()},
+            "run_cycles": stats.run_cycles,
+            "total_traps": stats.total_traps,
+            "digest": stats.digest(),
+        })
+        print(f"{config_id:<45} {stats.run_cycles:>10,} cycles  "
+              f"{entries[-1]['digest'][:12]}")
+    os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+    with open(FIXTURE_PATH, "w", encoding="utf-8") as fh:
+        json.dump({"n_nodes": 16, "entries": entries}, fh, indent=1,
+                  sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {FIXTURE_PATH} ({len(entries)} configurations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Refresh the rendered transition tables in ``docs/protocols.md``.
+
+The tables between the ``<!-- protocol-table:...:begin/end -->``
+markers are generated from the executable protocol tables in
+``repro.core.protocol.table``; ``tests/test_docs_render.py`` asserts
+the file is a fixed point of this script, so run it whenever a
+transition row changes::
+
+    PYTHONPATH=src python tools/render_protocol_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.protocol.render import embed_rendered_tables  # noqa: E402
+
+DOC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs", "protocols.md",
+)
+
+
+def main() -> int:
+    with open(DOC_PATH, "r", encoding="utf-8") as fh:
+        before = fh.read()
+    after = embed_rendered_tables(before)
+    if after == before:
+        print(f"{DOC_PATH} already up to date")
+        return 0
+    with open(DOC_PATH, "w", encoding="utf-8") as fh:
+        fh.write(after)
+    print(f"rewrote the rendered tables in {DOC_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
