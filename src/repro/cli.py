@@ -193,6 +193,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="report what would be deleted without "
                             "deleting anything")
 
+    check = sub.add_parser(
+        "check",
+        help="static verification: protocol model checker + "
+             "determinism linter")
+    check.add_argument("--all", action="store_true",
+                       help="run every analysis (default when no "
+                            "analysis flag is given)")
+    check.add_argument("--model", action="store_true",
+                       help="model-check the protocol transition "
+                            "tables")
+    check.add_argument("--lint", action="store_true",
+                       help="lint src/repro for nondeterminism "
+                            "hazards")
+    check.add_argument("--quick", action="store_true",
+                       help="model-check only the two-node "
+                            "configurations (seconds instead of "
+                            "a minute; skips sequential-invalidation "
+                            "and three-node coverage)")
+    check.add_argument("--max-states", type=int, default=None,
+                       metavar="N",
+                       help="per-configuration state ceiling "
+                            "(exceeding it is a finding)")
+    check.add_argument("--json", dest="json_out", default=None,
+                       metavar="FILE",
+                       help="write the machine-readable report to "
+                            "FILE ('-' for stdout)")
+
     return parser
 
 
@@ -421,6 +448,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.verify.lint import run_lint
+    from repro.verify.modelcheck import (
+        MAX_STATES,
+        default_configs,
+        run_model_check,
+    )
+    from repro.verify.report import EXIT_ERROR, Report, write_json
+
+    run_model = args.model or args.all or not (args.model or args.lint)
+    run_linter = args.lint or args.all or not (args.model or args.lint)
+    report = Report()
+    try:
+        if run_model:
+            configs = default_configs()
+            if args.quick:
+                configs = [c for c in configs if c.n_nodes <= 2]
+            report.extend(run_model_check(
+                configs,
+                max_states=(args.max_states if args.max_states
+                            else MAX_STATES),
+                coverage=not args.quick))
+        if run_linter:
+            report.extend(run_lint())
+    except Exception as exc:
+        print(f"repro check: internal error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    write_json(report, args.json_out)
+    if args.json_out != "-":
+        print(report.render_text(), end="")
+    return report.exit_code
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -430,6 +490,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "experiments": _cmd_experiments,
     "cache": _cmd_cache,
+    "check": _cmd_check,
 }
 
 

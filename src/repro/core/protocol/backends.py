@@ -424,7 +424,12 @@ class LimitedPointerBackend(DirectoryBackend):
         self._settle_relinquish(entry)
 
     def _settle_relinquish(self, entry: DirectoryEntry) -> None:
-        if not entry.extended and not entry.sharer_set():
+        # A pending software handler (read overflow) still refers to
+        # this entry; resetting it now would let the handler complete
+        # into an ABSENT entry and record a sharer the directory no
+        # longer admits losing.  Settle only when the entry is idle —
+        # the handler's own completion re-settles the bookkeeping.
+        if not entry.extended and not entry.sharer_set() and entry.idle:
             entry.reset_to_absent()
 
     # ------------------------------------------------------------------
@@ -801,9 +806,15 @@ class SoftwareOnlyBackend(DirectoryBackend):
         targets.discard(src)
         small = self.iface.is_small_set(len(targets))
         cost = self.iface.cost_model.sw_request("write", len(targets), small)
+        # A pending home-copy flush (read_grant) is absorbed into this
+        # transaction: its INV is already in flight and its ACK is
+        # indistinguishable from the ones armed here, so counting it
+        # keeps the exclusive grant behind *every* outstanding
+        # invalidation instead of completing one ack early.
+        absorbed = self._flush_acks.pop(block, 0)
         entry.state = DirState.WRITE_TRANSACTION
         entry.pending_requester = src
-        entry.sw_ack_count = len(targets)
+        entry.sw_ack_count = len(targets) + absorbed
         entry.sharers = set()
         sends = [(msg.INV, target, block, src)
                  for target in sorted(targets)]

@@ -55,10 +55,13 @@ def render_transition_table(table: ProtocolTable) -> str:
     lines = [_HEADER]
     for row in table.transitions:
         guard = f"`{row.guard}`" if row.guard else "—"
+        notes = row.description
+        if row.unreachable:
+            notes = f"*defensive; model-checked unreachable.* {notes}"
         lines.append(
             f"| `{row.event}` | {_states_cell(row)} | {guard} "
             f"| `{row.action}` | {_next_cell(row)} "
-            f"| {row.description} |\n"
+            f"| {notes} |\n"
         )
     return "".join(lines)
 

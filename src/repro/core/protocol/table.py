@@ -63,6 +63,14 @@ class Transition:
     ``action`` names the backend mutator that implements the
     transition.  ``next_state`` is the declared post-state label (see
     :func:`allowed_after`).
+
+    ``unreachable`` marks a *defensive* row: one the author claims can
+    never fire given the fabric's per-channel FIFO ordering, kept in
+    the table so the protocol stays safe if that assumption ever
+    weakens.  The claim is machine-checked both ways by the model
+    checker (``repro check``): an ``unreachable`` row that fires in the
+    explored state space is a finding, and so is a dead row *without*
+    the annotation.
     """
 
     event: str
@@ -71,6 +79,7 @@ class Transition:
     guard: Optional[str] = None
     next_state: Optional[str] = None
     description: str = ""
+    unreachable: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,8 +176,10 @@ HARDWARE_TABLE = ProtocolTable(
                         "handler (empty pointers into software)"),
         Transition(
             "rreq", (_RW,), "reply_busy", guard="from_owner",
-            next_state="same",
-            description="owner's write-back is in flight: retry"),
+            next_state="same", unreachable=True,
+            description="owner's write-back is in flight: retry "
+                        "(per-channel FIFO delivers the write-back "
+                        "before the owner's next request)"),
         Transition(
             "rreq", (_RW,), "read_fetch_exclusive", guard="migratory_block",
             next_state="write_transaction",
@@ -208,8 +219,10 @@ HARDWARE_TABLE = ProtocolTable(
                         "arms the acknowledgement counter"),
         Transition(
             "wreq", (_RW,), "reply_busy", guard="from_owner",
-            next_state="same",
-            description="owner's write-back is in flight: retry"),
+            next_state="same", unreachable=True,
+            description="owner's write-back is in flight: retry "
+                        "(per-channel FIFO delivers the write-back "
+                        "before the owner's next request)"),
         Transition(
             "wreq", (_RW,), "write_fetch_exclusive",
             next_state="write_transaction",
@@ -240,8 +253,9 @@ HARDWARE_TABLE = ProtocolTable(
             next_state="read_write",
             description="last ack: hardware grants exclusive"),
         Transition(
-            "ack", (_WT,), "ack_underflow",
-            description="more acks than invalidations: protocol error"),
+            "ack", (_WT,), "ack_underflow", unreachable=True,
+            description="more acks than invalidations: protocol error "
+                        "(every INV arms exactly one expected ack)"),
         # -- fetch responses -------------------------------------------
         Transition(
             "fetch_data", (_RT,), "fetch_complete_read",
@@ -317,9 +331,10 @@ SOFTWARE_ONLY_TABLE = ProtocolTable(
         # -- read requests ---------------------------------------------
         Transition(
             "rreq", (_RW,), "local_miss_busy", guard="local_private",
-            next_state="same",
+            next_state="same", unreachable=True,
             description="home's own write-back in flight on private "
-                        "data: retry, no software involved"),
+                        "data: retry, no software involved (FIFO "
+                        "delivers the write-back first)"),
         Transition(
             "rreq", None, "local_read_grant", guard="local_private",
             next_state="read_only",
@@ -331,8 +346,10 @@ SOFTWARE_ONLY_TABLE = ProtocolTable(
                         "costs a handler dispatch"),
         Transition(
             "rreq", (_RW,), "owner_busy_trap", guard="from_owner",
-            next_state="same",
-            description="owner's write-back is in flight: retry"),
+            next_state="same", unreachable=True,
+            description="owner's write-back is in flight: retry "
+                        "(per-channel FIFO delivers the write-back "
+                        "before the owner's next request)"),
         Transition(
             "rreq", (_RW,), "read_fetch", next_state="read_transaction",
             description="fetch the dirty copy; the software-only "
@@ -344,9 +361,10 @@ SOFTWARE_ONLY_TABLE = ProtocolTable(
         # -- write requests --------------------------------------------
         Transition(
             "wreq", (_RW,), "local_miss_busy", guard="local_private",
-            next_state="same",
+            next_state="same", unreachable=True,
             description="home's own write-back in flight on private "
-                        "data: retry, no software involved"),
+                        "data: retry, no software involved (FIFO "
+                        "delivers the write-back first)"),
         Transition(
             "wreq", None, "local_write_grant", guard="local_private",
             next_state="read_write",
@@ -357,8 +375,10 @@ SOFTWARE_ONLY_TABLE = ProtocolTable(
             description="software mid-transaction: BUSY via a handler"),
         Transition(
             "wreq", (_RW,), "owner_busy_trap", guard="from_owner",
-            next_state="same",
-            description="owner's write-back is in flight: retry"),
+            next_state="same", unreachable=True,
+            description="owner's write-back is in flight: retry "
+                        "(per-channel FIFO delivers the write-back "
+                        "before the owner's next request)"),
         Transition(
             "wreq", (_RW,), "write_fetch", next_state="write_transaction",
             description="invalidate the owner; its data completes the "

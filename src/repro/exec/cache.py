@@ -150,9 +150,10 @@ class ResultCache:
         removed = 0
         if not os.path.isdir(self.root):
             return 0
-        now = time.time()
-        for dirpath, _dirnames, filenames in os.walk(self.root):
-            for name in filenames:
+        now = time.time()  # repro: allow-nondet(cache aging is wall-clock by definition; never reaches run output)
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames.sort()
+            for name in sorted(filenames):
                 if not name.endswith(".json"):
                     continue
                 path = os.path.join(dirpath, name)

@@ -215,7 +215,7 @@ class ProtocolTracer:
                       if r.kind in (msg.RREQ, msg.WREQ)}
         replied = {r.dst for r in records
                    if r.kind in (msg.RDATA, msg.WDATA, msg.BUSY)}
-        for node in requesters - replied:
+        for node in sorted(requesters - replied):
             problems.append(
                 f"block {block}: node {node} requested but never got a "
                 f"reply"

@@ -1,0 +1,31 @@
+"""Static verification of the coherence protocol and the codebase.
+
+Two analyses, both exposed through ``repro check``:
+
+- :mod:`repro.verify.modelcheck` — exhaustive exploration of the
+  protocol transition tables over an abstract machine
+  (:mod:`repro.verify.abstract`): safety, totality, declared-state
+  soundness, row reachability, stuck-freedom.
+- :mod:`repro.verify.lint` — an AST pass flagging nondeterminism
+  hazards that would break the repo's byte-identical-output
+  guarantee.
+
+Findings from both passes share the :mod:`repro.verify.report` types
+so CI and tooling consume one JSON shape.
+"""
+
+from repro.verify.report import (  # noqa: F401
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    Report,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "Report",
+]

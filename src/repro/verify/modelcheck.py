@@ -1,0 +1,377 @@
+"""Exhaustive protocol model checker over the abstract machine.
+
+This module drives :mod:`repro.verify.abstract`: for each small
+configuration it breadth-first explores *every* interleaving of cache
+events, message deliveries and software-handler completions, and turns
+anything suspicious into :class:`~repro.verify.report.Finding`s with a
+replayable witness trace (the BFS keeps parent pointers, so every
+finding comes with the exact step sequence that produced it).
+
+Checked properties
+------------------
+safety
+    Single-writer exclusivity, no lost invalidation, INV/ACK
+    conservation — raised by the abstract homes/caches the moment a
+    grant or delivery would violate them, plus a coherence sweep over
+    every *quiescent* state (empty network, no outstanding misses).
+wellformed / state-error
+    Directory entries must stay internally consistent after every
+    transition; responses must find the transaction they belong to.
+totality
+    Every reachable ``(state, event)`` pair dispatches a row (or is
+    explicitly policy-ignored); a strict-policy miss is a finding, not
+    a crash.
+claim
+    Each row's declared ``next_state`` label is compared against the
+    actual post-state every time the row fires.
+stuck
+    Any state with protocol obligations (outstanding miss, armed
+    counter, transient entry) must have an enabled internal step.
+reachability
+    Across the whole config suite, a row that never fires and is not
+    annotated ``unreachable=True`` is dead weight (``dead-row``); an
+    annotated row that *does* fire breaks its claim
+    (``unreachable-fired``).
+
+Static checks (no exploration) validate the tables themselves: every
+row's guard/action must resolve on both the real backend and the
+abstract home, every ``next_state`` label must parse, and every row's
+event must have a dispatch policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.protocol.table import (
+    HARDWARE_TABLE,
+    SOFTWARE_ONLY_TABLE,
+    ProtocolTable,
+    allowed_after,
+)
+from repro.core.spec import AckMode, ProtocolSpec
+from repro.verify.abstract import (
+    CompiledTable,
+    ModelConfig,
+    home_class_for,
+    initial_state,
+    obligations,
+    quiescent_findings,
+    successors,
+)
+from repro.verify.report import Finding, Report
+
+__all__ = [
+    "ConfigResult",
+    "DEFAULT_CONFIGS",
+    "check_config",
+    "coverage_findings",
+    "run_model_check",
+    "static_table_findings",
+]
+
+#: Exploration ceiling per configuration.  The default configurations
+#: all complete exhaustively well below it; hitting the cap is itself
+#: a finding (the config is too big to verify, shrink it).
+MAX_STATES = 1_000_000
+
+#: Acceptance floor: a configuration that explores fewer states than
+#: this is too small to mean anything.
+MIN_STATES = 1_000
+
+
+def _spec(**kw) -> ProtocolSpec:
+    return ProtocolSpec(**kw)
+
+
+def default_configs() -> List[ModelConfig]:
+    """The shipped verification suite.
+
+    Small enough to finish exhaustively, together covering every live
+    row of both tables: full-map (with migratory detection), the
+    one-pointer software-extended protocols under all three ack modes,
+    software broadcast, sequential invalidation (needs three nodes so
+    a write sees two targets), and the software-only directory.  The
+    local bit is disabled in the two-node configs so pointer overflow
+    — the whole point of the software extension — is reachable with
+    one remote cacher.
+    """
+    return [
+        ModelConfig(
+            "full-map, 2 nodes, migratory",
+            _spec(hw_pointers=0, full_map=True),
+            n_nodes=2, migratory_detection=True),
+        ModelConfig(
+            "1 hw pointer, no local bit, hardware acks, 2 nodes",
+            _spec(hw_pointers=1, sw_extension=True, local_bit=False,
+                  ack_mode=AckMode.HARDWARE),
+            n_nodes=2),
+        ModelConfig(
+            "1 hw pointer, no local bit, ,ACK software acks, 2 nodes",
+            _spec(hw_pointers=1, sw_extension=True, local_bit=False,
+                  ack_mode=AckMode.SOFTWARE),
+            n_nodes=2),
+        ModelConfig(
+            "1 hw pointer, no local bit, ,LACK last-ack trap, 2 nodes",
+            _spec(hw_pointers=1, sw_extension=True, local_bit=False,
+                  ack_mode=AckMode.LAST_SOFTWARE),
+            n_nodes=2),
+        ModelConfig(
+            "software broadcast (Dir1..B), no local bit, 2 nodes",
+            _spec(hw_pointers=1, sw_extension=False, sw_broadcast=True,
+                  local_bit=False, ack_mode=AckMode.LAST_SOFTWARE),
+            n_nodes=2),
+        ModelConfig(
+            "1 hw pointer + local bit, ,LACK, sequential "
+            "invalidation, 3 nodes",
+            _spec(hw_pointers=1, sw_extension=True, local_bit=True,
+                  ack_mode=AckMode.LAST_SOFTWARE),
+            n_nodes=3, drop_budget=0, invalidation_mode="sequential"),
+        ModelConfig(
+            "software-only directory, 2 nodes",
+            _spec(hw_pointers=0, sw_extension=True, local_bit=False,
+                  ack_mode=AckMode.SOFTWARE),
+            n_nodes=2),
+        ModelConfig(
+            "software-only directory, 3 nodes",
+            _spec(hw_pointers=0, sw_extension=True, local_bit=False,
+                  ack_mode=AckMode.SOFTWARE),
+            n_nodes=3, drop_budget=0),
+    ]
+
+
+#: Evaluated lazily by :func:`run_model_check` so table overrides in
+#: tests never leak between calls.
+DEFAULT_CONFIGS = default_configs()
+
+
+@dataclasses.dataclass
+class ConfigResult:
+    """Exploration outcome for one configuration."""
+
+    cfg: ModelConfig
+    states: int = 0
+    steps: int = 0
+    fired_rows: Set[int] = dataclasses.field(default_factory=set)
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    capped: bool = False
+
+
+def _trace(parents: Dict[tuple, Tuple[Optional[tuple], str]],
+           state: tuple, last_label: Optional[str] = None) -> Tuple[str, ...]:
+    steps: List[str] = [] if last_label is None else [last_label]
+    cursor: Optional[tuple] = state
+    while cursor is not None:
+        parent, label = parents[cursor]
+        if label:
+            steps.append(label)
+        cursor = parent
+    return tuple(reversed(steps))
+
+
+def check_config(cfg: ModelConfig,
+                 table: Optional[ProtocolTable] = None,
+                 home_cls=None,
+                 max_states: int = MAX_STATES,
+                 max_findings: int = 10) -> ConfigResult:
+    """Exhaustively explore ``cfg`` and collect findings.
+
+    ``table`` and ``home_cls`` override the shipped table / abstract
+    home — the mutation tests use this to prove seeded corruptions are
+    caught.  Exploration stops early once ``max_findings`` distinct
+    findings exist (a corrupt table can make *every* state a finding).
+    """
+    if table is None:
+        table = cfg.table
+    if home_cls is None:
+        home_cls = home_class_for(cfg)
+    program = CompiledTable(table)
+    result = ConfigResult(cfg)
+    where = f"model config [{cfg.label}]"
+
+    init = initial_state(cfg)
+    parents: Dict[tuple, Tuple[Optional[tuple], str]] = {init: (None, "")}
+    queue = deque([init])
+    seen_messages: Set[Tuple[str, str]] = set()
+
+    def add(code: str, message: str, trace: Tuple[str, ...]) -> None:
+        # One finding per (code, message) pair keeps the report small
+        # and deterministic while still covering every failure class.
+        if (code, message) in seen_messages:
+            return
+        seen_messages.add((code, message))
+        result.findings.append(
+            Finding("modelcheck", code, where, message, trace))
+
+    while queue and len(result.findings) < max_findings:
+        state = queue.popleft()
+        result.states += 1
+        succ = successors(cfg, state, program, home_cls)
+        internal = [s for s in succ if s[1] == "internal"]
+        if not internal:
+            if obligations(cfg, state):
+                add("stuck",
+                    "protocol work outstanding but no delivery or "
+                    "handler step is enabled",
+                    _trace(parents, state))
+            else:
+                for code, message in quiescent_findings(
+                        cfg, state, home_cls):
+                    add(code, message, _trace(parents, state))
+        for label, _kind, outcome in succ:
+            result.steps += 1
+            if outcome[0] == "violation":
+                violation = outcome[1]
+                result.fired_rows.update(outcome[2])
+                add(violation.code, str(violation),
+                    _trace(parents, state, last_label=label))
+                continue
+            _tag, nxt, fired = outcome
+            result.fired_rows.update(fired)
+            if nxt not in parents:
+                parents[nxt] = (state, label)
+                queue.append(nxt)
+        if len(parents) > max_states:
+            result.capped = True
+            add("limit",
+                f"state space exceeds {max_states} states — "
+                f"shrink the configuration",
+                ())
+            break
+
+    # A clean run over a tiny state space proves nothing; a run cut
+    # short by findings is small *because* it found something.
+    if not result.capped and not result.findings \
+            and result.states < MIN_STATES:
+        add("thin-config",
+            f"only {result.states} states explored "
+            f"(need >= {MIN_STATES} for a meaningful check)",
+            ())
+    return result
+
+
+# ----------------------------------------------------------------------
+# Static table checks
+# ----------------------------------------------------------------------
+
+
+def _real_backends_for(table: ProtocolTable):
+    from repro.core.protocol import backends
+
+    if table is SOFTWARE_ONLY_TABLE or table.name == "software-only":
+        return [backends.SoftwareOnlyBackend]
+    return [backends.FullMapBackend, backends.LimitedPointerBackend]
+
+
+def _abstract_homes_for(table: ProtocolTable):
+    from repro.verify import abstract
+
+    if table is SOFTWARE_ONLY_TABLE or table.name == "software-only":
+        return [abstract.AbstractSoftwareOnlyHome]
+    return [abstract.AbstractHardwareHome]
+
+
+def static_table_findings(table: ProtocolTable) -> List[Finding]:
+    """Checks that need no exploration: name resolution, label
+    grammar, per-event dispatch policies."""
+    findings: List[Finding] = []
+    classes = _real_backends_for(table) + _abstract_homes_for(table)
+    for index, row in enumerate(table.transitions):
+        where = (f"table {table.name} row {index} "
+                 f"({row.event}/{row.action})")
+        for cls in classes:
+            if not callable(getattr(cls, row.action, None)):
+                findings.append(Finding(
+                    "modelcheck", "unresolved-name", where,
+                    f"action {row.action!r} is not defined on "
+                    f"{cls.__name__}"))
+            if row.guard is not None \
+                    and not callable(getattr(cls, row.guard, None)):
+                findings.append(Finding(
+                    "modelcheck", "unresolved-name", where,
+                    f"guard {row.guard!r} is not defined on "
+                    f"{cls.__name__}"))
+        try:
+            allowed_after(row.next_state)
+        except Exception as exc:  # pragma: no cover - defensive
+            findings.append(Finding(
+                "modelcheck", "bad-claim", where,
+                f"next_state label {row.next_state!r} does not "
+                f"parse: {exc}"))
+        if row.event not in table.policies:
+            findings.append(Finding(
+                "modelcheck", "orphan-row", where,
+                f"event {row.event!r} has no dispatch policy — the "
+                f"engine would never evaluate this row"))
+    return findings
+
+
+def coverage_findings(table: ProtocolTable, fired: Set[int],
+                      coverage: bool = True) -> List[Finding]:
+    """Row-reachability verdicts given the union of ``fired`` row
+    indices; ``coverage=False`` limits this to refuting wrong
+    ``unreachable=True`` annotations (see below)."""
+    findings: List[Finding] = []
+    for index, row in enumerate(table.transitions):
+        where = (f"table {table.name} row {index} "
+                 f"({row.event}/{row.action})")
+        if index in fired and row.unreachable:
+            # Valid on any subset: one firing refutes the claim.
+            findings.append(Finding(
+                "modelcheck", "unreachable-fired", where,
+                "row is annotated unreachable=True but fires in the "
+                "explored state space — the defensive claim is wrong"))
+        elif coverage and index not in fired and not row.unreachable:
+            # Only meaningful against the full suite — a subset not
+            # designed to cover every row proves nothing dead.
+            findings.append(Finding(
+                "modelcheck", "dead-row", where,
+                "row never fires across the configuration suite — "
+                "delete it or annotate unreachable=True with a "
+                "justification"))
+    return findings
+
+
+def run_model_check(configs: Optional[Sequence[ModelConfig]] = None,
+                    max_states: int = MAX_STATES,
+                    coverage: Optional[bool] = None) -> Report:
+    """Full pass: static table checks, per-config exploration,
+    cross-config row-coverage verdicts.
+
+    ``coverage`` controls dead-row reporting; it defaults to on only
+    when running the shipped (full) configuration suite.
+    """
+    if coverage is None:
+        coverage = configs is None
+    if configs is None:
+        configs = default_configs()
+    report = Report()
+    tables: List[ProtocolTable] = []
+    for cfg in configs:
+        if cfg.table not in tables:
+            tables.append(cfg.table)
+    for table in tables:
+        report.findings.extend(static_table_findings(table))
+
+    fired_by_table: Dict[str, Set[int]] = {}
+    total_states = 0
+    for cfg in configs:
+        result = check_config(cfg, max_states=max_states)
+        report.findings.extend(result.findings)
+        fired_by_table.setdefault(cfg.table.name, set()).update(
+            result.fired_rows)
+        total_states += result.states
+        key = f"modelcheck.states[{cfg.label}]"
+        report.stats[key] = result.states
+
+    for table in tables:
+        fired = fired_by_table.get(table.name, set())
+        report.findings.extend(
+            coverage_findings(table, fired, coverage))
+        report.stats[f"modelcheck.rows_fired[{table.name}]"] = (
+            f"{len(fired)}/{len(table.transitions)}")
+    report.stats["modelcheck.configs"] = len(list(configs))
+    report.stats["modelcheck.states_total"] = total_states
+    return report

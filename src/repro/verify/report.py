@@ -1,0 +1,118 @@
+"""Finding and report types shared by the static analyses.
+
+Both the model checker and the determinism linter emit
+:class:`Finding`s; :class:`Report` aggregates them with per-analysis
+statistics and renders either human-readable text or a stable JSON
+document (no timestamps, no wall-clock — the report itself obeys the
+repo's byte-identical-output rule, so CI can diff it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Finding", "Report", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_ERROR"]
+
+#: ``repro check`` exit codes (also the CI contract).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One verified problem surfaced by a static analysis.
+
+    ``analysis`` is the pass that produced it (``"modelcheck"`` or
+    ``"lint"``); ``code`` the machine-stable class (``"safety"``,
+    ``"dead-row"``, ``"RND02"``, ...); ``location`` a human-readable
+    anchor (``"hardware row 5 (rreq/reply_busy)"`` or
+    ``"src/repro/exec/cache.py:153"``); ``trace`` an optional witness
+    — for the model checker, the step labels leading to the bad state.
+    """
+
+    analysis: str
+    code: str
+    location: str
+    message: str
+    trace: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "analysis": self.analysis,
+            "code": self.code,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.trace:
+            doc["trace"] = list(self.trace)
+        return doc
+
+
+@dataclasses.dataclass
+class Report:
+    """Aggregated findings plus per-analysis statistics."""
+
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+    stats: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def extend(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+        self.stats.update(other.stats)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.clean else EXIT_FINDINGS
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "clean": self.clean,
+            "findings": [f.to_json() for f in self.findings],
+            "stats": self.stats,
+        }
+
+    def dump_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self, max_trace: int = 12) -> str:
+        """Human-readable report; witness traces are elided to their
+        last ``max_trace`` steps (the tail is where the bug is)."""
+        lines: List[str] = []
+        for f in self.findings:
+            lines.append(f"[{f.analysis}:{f.code}] {f.location}")
+            lines.append(f"    {f.message}")
+            if f.trace:
+                steps = list(f.trace)
+                elided = len(steps) - max_trace
+                if elided > 0:
+                    steps = steps[-max_trace:]
+                    lines.append(f"    witness (last {max_trace} of "
+                                 f"{len(f.trace)} steps):")
+                else:
+                    lines.append("    witness:")
+                for step in steps:
+                    lines.append(f"      - {step}")
+        for key in sorted(self.stats):
+            lines.append(f"{key}: {self.stats[key]}")
+        verdict = ("clean" if self.clean
+                   else f"{len(self.findings)} finding(s)")
+        lines.append(verdict)
+        return "\n".join(lines) + "\n"
+
+
+def write_json(report: Report, path: Optional[str]) -> None:
+    """Write the JSON report to ``path`` (``"-"`` = stdout)."""
+    text = report.dump_json()
+    if path == "-":
+        import sys
+
+        sys.stdout.write(text)
+    elif path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)

@@ -68,6 +68,11 @@ MODULES = [
     "repro.sim.engine",
     "repro.sim.stats",
     "repro.sim.trace",
+    "repro.verify",
+    "repro.verify.abstract",
+    "repro.verify.lint",
+    "repro.verify.modelcheck",
+    "repro.verify.report",
     "repro.workloads",
     "repro.workloads.aq",
     "repro.workloads.base",

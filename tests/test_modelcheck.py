@@ -1,0 +1,239 @@
+"""Mutation tests for the protocol model checker.
+
+The checker is only worth its CI minutes if seeded table corruptions
+are *caught*; each test below plants one distinct bug class and
+asserts the expected finding code comes back (with a witness trace
+where exploration is involved).
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.core.messages as msg
+from repro.core.protocol.table import (
+    HARDWARE_TABLE,
+    SOFTWARE_ONLY_TABLE,
+    Transition,
+)
+from repro.core.spec import AckMode, ProtocolSpec
+from repro.verify.abstract import (
+    AbstractHardwareHome,
+    AbstractSoftwareOnlyHome,
+    DirState,
+    ModelConfig,
+)
+from repro.verify.modelcheck import (
+    MIN_STATES,
+    check_config,
+    coverage_findings,
+    default_configs,
+    run_model_check,
+    static_table_findings,
+)
+
+# Small, fast configurations (each still explores >= MIN_STATES when
+# clean; corrupted runs stop at the first finding).
+HW2 = ModelConfig(
+    "hw 1-pointer, 2 nodes",
+    ProtocolSpec(hw_pointers=1, sw_extension=True, local_bit=False,
+                 ack_mode=AckMode.HARDWARE),
+    n_nodes=2)
+LACK3 = ModelConfig(
+    "hw 1-pointer LACK, 3 nodes",
+    ProtocolSpec(hw_pointers=1, sw_extension=True, local_bit=True,
+                 ack_mode=AckMode.LAST_SOFTWARE),
+    n_nodes=3, drop_budget=0)
+SW3 = ModelConfig(
+    "software-only, 3 nodes",
+    ProtocolSpec(hw_pointers=0, sw_extension=True, local_bit=False,
+                 ack_mode=AckMode.SOFTWARE),
+    n_nodes=3, drop_budget=0)
+SW2 = ModelConfig(
+    "software-only, 2 nodes",
+    ProtocolSpec(hw_pointers=0, sw_extension=True, local_bit=False,
+                 ack_mode=AckMode.SOFTWARE),
+    n_nodes=2)
+
+
+def mutate_rows(table, predicate, **changes):
+    """Replace fields on every row matching ``predicate``; with
+    ``drop=True`` remove it instead."""
+    drop = changes.pop("drop", False)
+    rows = []
+    hits = 0
+    for row in table.transitions:
+        if predicate(row):
+            hits += 1
+            if drop:
+                continue
+            row = dataclasses.replace(row, **changes)
+        rows.append(row)
+    assert hits, "mutation matched no row — the seed is stale"
+    return dataclasses.replace(table, transitions=tuple(rows))
+
+
+def codes_of(findings):
+    return sorted({f.code for f in findings})
+
+
+# ----------------------------------------------------------------------
+# Clean baseline
+# ----------------------------------------------------------------------
+
+
+def test_shipped_tables_are_clean_on_small_configs():
+    for cfg in (SW2, HW2):
+        result = check_config(cfg)
+        assert result.findings == [], codes_of(result.findings)
+        assert result.states >= MIN_STATES
+        assert not result.capped
+
+
+def test_default_suite_meets_state_floor_spec():
+    # The shipped suite is what CI runs; every config must be able to
+    # clear the acceptance floor.  (Exploring all of them takes ~a
+    # minute — CI does that; here we check the suite's shape.)
+    configs = default_configs()
+    assert len(configs) >= 6
+    assert any(c.n_nodes >= 3 for c in configs)
+    assert any(c.spec.is_software_only for c in configs)
+    assert any(c.spec.full_map for c in configs)
+    assert any(c.invalidation_mode == "sequential" for c in configs)
+
+
+def test_quick_subset_runs_clean_via_run_model_check():
+    configs = [c for c in default_configs()
+               if c.n_nodes <= 2 and c.spec.is_software_only]
+    report = run_model_check(configs, coverage=False)
+    assert report.clean, codes_of(report.findings)
+    assert report.stats["modelcheck.states_total"] >= MIN_STATES
+
+
+# ----------------------------------------------------------------------
+# Seeded mutations — each must be caught
+# ----------------------------------------------------------------------
+
+
+def test_mutation_wrong_next_state_claim():
+    bad = mutate_rows(HARDWARE_TABLE,
+                      lambda r: r.action == "read_record",
+                      next_state="read_write")
+    result = check_config(HW2, table=bad, max_findings=1)
+    assert "claim" in codes_of(result.findings)
+    assert result.findings[0].trace, "claim finding lost its witness"
+
+
+def test_mutation_missing_completion_row():
+    bad = mutate_rows(HARDWARE_TABLE,
+                      lambda r: r.action == "ack_complete",
+                      drop=True)
+    result = check_config(HW2, table=bad, max_findings=1)
+    # Without the completion row the final ack falls through to the
+    # underflow trap (or the write sticks forever) — either way the
+    # checker must object.
+    assert set(codes_of(result.findings)) & {"state-error", "stuck"}
+
+
+def test_mutation_missing_busy_row():
+    bad = mutate_rows(HARDWARE_TABLE,
+                      lambda r: r.event == msg.WREQ and r.guard == "busy",
+                      drop=True)
+    result = check_config(HW2, table=bad, max_findings=1)
+    assert "totality" in codes_of(result.findings)
+
+
+def test_mutation_grant_without_invalidation():
+    # Swap the invalidation action for a plain exclusive grant (claim
+    # kept consistent so only the *semantics* are wrong): a sharer's
+    # copy survives a write — lost invalidation.
+    bad = mutate_rows(HARDWARE_TABLE,
+                      lambda r: r.action == "write_invalidate",
+                      action="write_absent", next_state="read_write")
+    result = check_config(HW2, table=bad, max_findings=1)
+    assert "safety" in codes_of(result.findings)
+    assert result.findings[0].trace
+
+
+def test_mutation_dropped_ack_decrement():
+    class NoDecrement(AbstractHardwareHome):
+        def ack_countdown(self, e, src):
+            pass
+
+    result = check_config(LACK3, home_cls=NoDecrement, max_findings=1)
+    assert "stuck" in codes_of(result.findings)
+
+
+def test_mutation_false_unreachable_annotation():
+    marked = mutate_rows(HARDWARE_TABLE,
+                         lambda r: r.action == "read_record",
+                         unreachable=True)
+    result = check_config(HW2, table=marked)
+    cov = coverage_findings(marked, result.fired_rows, coverage=False)
+    assert "unreachable-fired" in codes_of(cov)
+
+
+def test_mutation_flush_ack_not_absorbed():
+    # Regression for the software-only flush-ack aliasing bug: if a
+    # pending home-copy flush is not absorbed into a later write's
+    # ack count, the flush's ack completes the write one INV early.
+    class NoAbsorb(AbstractSoftwareOnlyHome):
+        def write_invalidate(self, e, src):
+            self._note_remote(e, src)
+            targets = set(e.sharers)
+            targets.discard(src)
+            e.state = DirState.WRITE_TRANSACTION
+            e.pending_requester = src
+            e.sw_ack_count = len(targets)
+            e.sharers = set()
+            self._defer_sends(
+                [(msg.INV, "wt", t) for t in sorted(targets)])
+
+    result = check_config(SW3, home_cls=NoAbsorb, max_findings=1)
+    assert "safety" in codes_of(result.findings)
+    assert any("lost invalidation" in f.message
+               for f in result.findings)
+
+
+def test_mutation_relinquish_settles_during_pending_handler():
+    # Regression for the eager _settle_relinquish bug: resetting the
+    # entry while a read-overflow handler is pending lets the handler
+    # complete into an ABSENT entry.
+    class EagerSettle(AbstractHardwareHome):
+        def _settle_relinquish(self, e):
+            if not e.extended and not self.sharer_set(e):
+                self.reset_to_absent(e)
+
+    result = check_config(HW2, home_cls=EagerSettle, max_findings=1)
+    assert "wellformed" in codes_of(result.findings)
+
+
+# ----------------------------------------------------------------------
+# Static checks
+# ----------------------------------------------------------------------
+
+
+def test_static_check_catches_unresolved_action():
+    bad = mutate_rows(HARDWARE_TABLE,
+                      lambda r: r.action == "read_record",
+                      action="no_such_action")
+    assert "unresolved-name" in codes_of(static_table_findings(bad))
+
+
+def test_static_check_catches_orphan_event():
+    orphan = Transition("nonesuch", None, "read_absent")
+    bad = dataclasses.replace(
+        HARDWARE_TABLE,
+        transitions=HARDWARE_TABLE.transitions + (orphan,))
+    assert "orphan-row" in codes_of(static_table_findings(bad))
+
+
+def test_static_checks_clean_on_shipped_tables():
+    assert static_table_findings(HARDWARE_TABLE) == []
+    assert static_table_findings(SOFTWARE_ONLY_TABLE) == []
+
+
+def test_state_cap_is_a_finding():
+    result = check_config(SW2, max_states=100)
+    assert result.capped
+    assert "limit" in codes_of(result.findings)
