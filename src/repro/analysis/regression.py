@@ -1,0 +1,149 @@
+"""Cross-run attribution diffing (the ``repro diff`` engine).
+
+A plain total-cycle comparison says *that* two runs differ; an
+attribution diff says *where* — the extra cycles land in a named
+bucket (handler execution, invalidation fan-out, retry backoff, ...),
+so a perf regression in the engine hot path is caught as an attributed
+delta rather than unexplained drift.
+
+Both inputs are ``repro-attribution/1`` artifacts (written by
+``repro analyze`` or persisted by the experiment runner); the output is
+itself deterministic JSON, so CI can gate on it byte-for-byte.
+
+Flagging rule, per bucket: a *growth* is a regression when it exceeds
+both an absolute floor (ignore noise-sized drift in tiny buckets) and
+a relative threshold (ignore proportionally small drift in huge ones).
+A bucket that appears from nothing is flagged as soon as it clears the
+absolute floor.  Shrinking buckets are reported as improvements and
+never fail the diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DIFF_SCHEMA",
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_ABS_FLOOR",
+    "diff_attributions",
+    "format_diff",
+]
+
+#: Artifact schema tag of the diff document.
+DIFF_SCHEMA = "repro-attribution-diff/1"
+
+#: A bucket must grow by more than this fraction of its old size ...
+DEFAULT_REL_THRESHOLD = 0.05
+
+#: ... and by more than this many cycles, to be flagged.
+DEFAULT_ABS_FLOOR = 200
+
+
+def _require_attribution(doc: Dict[str, object], label: str) -> None:
+    schema = doc.get("schema")
+    if schema != "repro-attribution/1":
+        raise ValueError(
+            f"{label}: not an attribution artifact "
+            f"(schema={schema!r}, expected 'repro-attribution/1')"
+        )
+
+
+def diff_attributions(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    abs_floor: int = DEFAULT_ABS_FLOOR,
+    bucket_thresholds: Optional[Dict[str, float]] = None,
+) -> Dict[str, object]:
+    """Compare two attribution artifacts bucket by bucket.
+
+    Returns a deterministic document with per-bucket old/new/delta
+    rows, the list of flagged (regressed) buckets, and ``ok`` — false
+    when any bucket regressed past its threshold.
+    ``bucket_thresholds`` overrides the relative threshold per bucket.
+    """
+    _require_attribution(old, "old")
+    _require_attribution(new, "new")
+    old_buckets: Dict[str, int] = dict(old.get("buckets", {}))
+    new_buckets: Dict[str, int] = dict(new.get("buckets", {}))
+    overrides = bucket_thresholds or {}
+
+    rows: Dict[str, Dict[str, object]] = {}
+    regressions: List[str] = []
+    improvements: List[str] = []
+    names = sorted(set(old_buckets) | set(new_buckets))
+    for name in names:
+        o = int(old_buckets.get(name, 0))
+        n = int(new_buckets.get(name, 0))
+        delta = n - o
+        rel = (delta / o) if o else (1.0 if n else 0.0)
+        threshold = float(overrides.get(name, rel_threshold))
+        flagged = delta > abs_floor and (o == 0 or delta / o > threshold)
+        rows[name] = {
+            "old": o,
+            "new": n,
+            "delta": delta,
+            "rel": round(rel, 6),
+            "threshold": round(threshold, 6),
+            "flagged": flagged,
+        }
+        if flagged:
+            regressions.append(name)
+        elif delta < 0:
+            improvements.append(name)
+
+    old_total = int(old.get("stall_cycles", 0))
+    new_total = int(new.get("stall_cycles", 0))
+    return {
+        "schema": DIFF_SCHEMA,
+        "thresholds": {
+            "relative": round(float(rel_threshold), 6),
+            "absolute_floor": int(abs_floor),
+            "per_bucket": {
+                k: round(float(overrides[k]), 6)
+                for k in sorted(overrides)
+            },
+        },
+        "stall_cycles": {
+            "old": old_total,
+            "new": new_total,
+            "delta": new_total - old_total,
+        },
+        "buckets": rows,
+        "regressions": regressions,
+        "improvements": improvements,
+        "ok": not regressions,
+    }
+
+
+def format_diff(doc: Dict[str, object]) -> str:
+    """Fixed-width human-readable rendering of a diff document."""
+    rows: Dict[str, Dict[str, object]] = doc["buckets"]  # type: ignore
+    lines = [
+        f"{'bucket':<18} {'old':>10} {'new':>10} {'delta':>9} "
+        f"{'rel':>8}  status"
+    ]
+    for name in sorted(rows):
+        row = rows[name]
+        if row["old"] == 0 and row["new"] == 0:
+            continue
+        if row["flagged"]:
+            status = "REGRESSED"
+        elif int(row["delta"]) < 0:  # type: ignore[arg-type]
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"{name:<18} {row['old']:>10} {row['new']:>10} "
+            f"{row['delta']:>+9} {row['rel']:>+8.2%}  {status}"
+        )
+    totals = doc["stall_cycles"]  # type: ignore[assignment]
+    lines.append(
+        f"{'total stall':<18} {totals['old']:>10} {totals['new']:>10} "
+        f"{totals['delta']:>+9}"
+    )
+    verdict = "OK" if doc["ok"] else (
+        "REGRESSIONS: " + ", ".join(doc["regressions"]))  # type: ignore
+    lines.append(verdict)
+    return "\n".join(lines)

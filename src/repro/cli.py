@@ -42,14 +42,21 @@ from repro.core.spec import PAPER_SPECTRUM, spec_of
 from repro.machine.machine import Machine
 from repro.machine.params import MachineParams
 from repro.obs import (
+    AttributionReport,
     IntervalSampler,
     LatencyRecorder,
+    SpanCollector,
     TraceCollector,
+    attribution_dict,
     chrome_trace,
+    format_trace,
     metrics_dict,
     write_json,
 )
 from repro.workloads.worker import WorkerBenchmark
+
+#: The committed attribution baseline exercised by `repro diff --baseline`.
+DEFAULT_BASELINE = "baselines/worker16-attribution.json"
 
 
 def _positive_int(text: str) -> int:
@@ -173,6 +180,67 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--check-invariants", action="store_true",
                              help="run every executed job under the "
                                   "continuous protocol invariant checker")
+    experiments.add_argument("--attribution", action="store_true",
+                             help="collect a cycle-attribution artifact "
+                                  "per job and persist it through the "
+                                  "result cache (attributed jobs cache "
+                                  "under their own keys)")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run one workload with transaction tracing and write a "
+             "cycle-attribution artifact (deterministic JSON)")
+    analyze.add_argument("--app",
+                         choices=sorted(APPLICATIONS) + ["worker"],
+                         default="worker",
+                         help="application, or 'worker' for the WORKER "
+                              "stress test (default)")
+    analyze.add_argument("--protocol", default="DirnH5SNB")
+    analyze.add_argument("--nodes", type=int, default=16)
+    analyze.add_argument("--size", type=int, default=6,
+                         help="worker-set size (worker only)")
+    analyze.add_argument("--iterations", type=int, default=2,
+                         help="WORKER iterations (worker only)")
+    analyze.add_argument("--software", choices=("flexible", "optimized"),
+                         default="flexible")
+    analyze.add_argument("--no-victim-cache", action="store_true")
+    analyze.add_argument("--perfect-ifetch", action="store_true")
+    analyze.add_argument("--invalidation-mode",
+                         choices=("parallel", "sequential", "dynamic"),
+                         default="parallel")
+    analyze.add_argument("--out", "-o", default="-", metavar="FILE",
+                         help="artifact path ('-' = stdout, the default)")
+    analyze.add_argument("--show-txn", type=int, default=None,
+                         metavar="TXN",
+                         help="also print the span tree of transaction "
+                              "TXN (stderr)")
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two attribution artifacts bucket-by-bucket; "
+             "exit 1 when a bucket regressed past its threshold")
+    diff.add_argument("artifacts", nargs="+", metavar="FILE",
+                      help="attribution JSON files: OLD NEW, or just "
+                           "NEW with --baseline")
+    diff.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE,
+                      default=None, metavar="FILE",
+                      help="compare against a committed baseline "
+                           f"(default {DEFAULT_BASELINE})")
+    diff.add_argument("--threshold", type=float, default=None,
+                      metavar="FRAC",
+                      help="relative growth threshold per bucket "
+                           "(default 0.05)")
+    diff.add_argument("--abs-floor", type=int, default=None,
+                      metavar="CYCLES",
+                      help="ignore bucket growth below this many cycles "
+                           "(default 200)")
+    diff.add_argument("--bucket-threshold", action="append", default=[],
+                      metavar="BUCKET=FRAC",
+                      help="per-bucket relative threshold override "
+                           "(repeatable)")
+    diff.add_argument("--json", dest="json_out", default=None,
+                      metavar="FILE",
+                      help="also write the diff document to FILE")
 
     cache = sub.add_parser(
         "cache", help="manage the on-disk result cache")
@@ -410,12 +478,127 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    machine = _machine_from(args)
+    collector = SpanCollector.attach(machine)
+    if args.app == "worker":
+        workload = WorkerBenchmark(worker_set_size=args.size,
+                                   iterations=args.iterations)
+    else:
+        workload = APPLICATIONS[args.app]()
+    stats = machine.run(workload)
+    report = AttributionReport.build(collector)
+    config = {
+        "app": args.app,
+        "protocol": args.protocol,
+        "nodes": args.nodes,
+        "software": args.software,
+        "invalidation_mode": args.invalidation_mode,
+    }
+    if args.app == "worker":
+        config["worker_set_size"] = args.size
+        config["iterations"] = args.iterations
+    doc = attribution_dict(report, config=config)
+    doc["run"] = {
+        "run_cycles": stats.run_cycles,
+        "speedup": round(stats.speedup, 4),
+    }
+
+    if args.show_txn is not None:
+        trace = collector.trace(args.show_txn)
+        if trace is None:
+            print(f"no transaction {args.show_txn} "
+                  f"(ids run 1..{len(collector)})", file=sys.stderr)
+        else:
+            print(format_trace(trace), file=sys.stderr)
+
+    if args.out == "-":
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        write_json(args.out, doc)
+        total = report.total_cycles
+        print(f"{args.app} on {args.nodes} nodes, {args.protocol}: "
+              f"{total:,} stall cycles over {report.n_transactions:,} "
+              f"transactions")
+        buckets = doc["buckets"]
+        for name in sorted(buckets, key=lambda b: -buckets[b]):
+            cycles = buckets[name]
+            if cycles:
+                share = cycles / total if total else 0.0
+                print(f"  {name:<18} {cycles:>12,}  {share:>6.1%}")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _parse_bucket_thresholds(pairs: List[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ValueError(
+                f"--bucket-threshold expects BUCKET=FRAC, got {pair!r}")
+        out[name] = float(value)
+    return out
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.regression import (
+        DEFAULT_ABS_FLOOR,
+        DEFAULT_REL_THRESHOLD,
+        diff_attributions,
+        format_diff,
+    )
+
+    if args.baseline is not None:
+        if len(args.artifacts) != 1:
+            print("error: with --baseline give exactly one artifact "
+                  "(the new run)", file=sys.stderr)
+            return 2
+        old_path, new_path = args.baseline, args.artifacts[0]
+    else:
+        if len(args.artifacts) != 2:
+            print("error: give OLD and NEW artifact paths "
+                  "(or one path with --baseline)", file=sys.stderr)
+            return 2
+        old_path, new_path = args.artifacts
+    try:
+        with open(old_path, "r", encoding="utf-8") as fh:
+            old = json.load(fh)
+        with open(new_path, "r", encoding="utf-8") as fh:
+            new = json.load(fh)
+        doc = diff_attributions(
+            old, new,
+            rel_threshold=(args.threshold if args.threshold is not None
+                           else DEFAULT_REL_THRESHOLD),
+            abs_floor=(args.abs_floor if args.abs_floor is not None
+                       else DEFAULT_ABS_FLOOR),
+            bucket_thresholds=_parse_bucket_thresholds(
+                args.bucket_threshold),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"old: {old_path}")
+    print(f"new: {new_path}")
+    print(format_diff(doc))
+    if args.json_out:
+        write_json(args.json_out, doc)
+        print(f"wrote {args.json_out}")
+    return 0 if doc["ok"] else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     try:
         runner = JobRunner(
             jobs=args.jobs,
             cache=None if args.no_cache else ResultCache(args.cache_dir),
             check_invariants=args.check_invariants,
+            attribution=args.attribution,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -488,6 +671,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "cost": _cmd_cost,
+    "analyze": _cmd_analyze,
+    "diff": _cmd_diff,
     "experiments": _cmd_experiments,
     "cache": _cmd_cache,
     "check": _cmd_check,

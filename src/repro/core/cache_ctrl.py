@@ -39,6 +39,9 @@ class Outstanding:
     access: AccessType
     done: Callable[[], None]
     retries: int = 0
+    #: Transaction id for tracing; retries re-use it so the whole retry
+    #: storm of one miss stays attributable to that miss.
+    txn: Optional[int] = None
 
 
 class CacheController:
@@ -75,13 +78,14 @@ class CacheController:
         return None
 
     def start_miss(self, access: AccessType, block: int,
-                   done: Callable[[], None]) -> None:
+                   done: Callable[[], None],
+                   txn: Optional[int] = None) -> None:
         """Begin a data miss; ``done`` fires when the line is filled."""
         if self.outstanding is not None:
             raise ProtocolStateError(
                 f"node {self.node.id} already has an outstanding miss"
             )
-        self.outstanding = Outstanding(block, access, done)
+        self.outstanding = Outstanding(block, access, done, txn=txn)
         self._send_request()
 
     def check_in(self, block: int) -> None:
@@ -115,7 +119,7 @@ class CacheController:
         out = self.outstanding
         kind = msg.WREQ if out.access is AccessType.WRITE else msg.RREQ
         home = self.node.machine.params.home_of_block(out.block)
-        self.node.send_protocol(kind, home, out.block)
+        self.node.send_protocol(kind, home, out.block, txn=out.txn)
 
     # ------------------------------------------------------------------
     # Network interface

@@ -44,17 +44,24 @@ class ProtoPayload:
     ``requester`` identifies the node the home node is acting for; for
     request messages it equals the message source.
 
+    ``txn`` is observability metadata only: the transaction id of the
+    data miss this message serves (or ``None``), carried so tracing can
+    attribute fabric traffic to the miss that caused it.  The protocol
+    never branches on it.
+
     Allocated once per coherence message (a hot path), so it is a
     ``__slots__`` holder instead of a dataclass — no per-instance
     ``__dict__``, cheaper construction.
     """
 
-    __slots__ = ("block", "requester")
+    __slots__ = ("block", "requester", "txn")
 
     def __init__(self, block: BlockId,
-                 requester: Optional[NodeId] = None) -> None:
+                 requester: Optional[NodeId] = None,
+                 txn: Optional[int] = None) -> None:
         self.block = block
         self.requester = requester
+        self.txn = txn
 
     def __repr__(self) -> str:
         return (f"ProtoPayload(block={self.block!r}, "

@@ -151,6 +151,7 @@ class HomeProtocolEngine:
                         rule=row.action,
                         next_label=row.next_state,
                         busy=busy,
+                        txn=message.payload.txn,
                     ))
                     return
         else:

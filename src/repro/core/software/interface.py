@@ -128,14 +128,32 @@ class CoherenceInterface:
                     pointers: int = 0) -> None:
         """Queue a handler on the local processor; ``completion`` runs
         (atomically, per the interface's atomic-transition guarantee)
-        when the handler finishes."""
-        obs = self.node.machine.obs
+        when the handler finishes.
+
+        The transaction id of the message that trapped is captured here
+        and re-established around the deferred completion, so state
+        changes and messages launched *at handler end* (the deferred-send
+        discipline of the software backends) are attributed to the
+        transaction that trapped — not to whatever message happens to be
+        dispatching when the completion event fires.
+        """
+        node = self.node
+        txn = node.current_txn
+        obs = node.machine.obs
         if obs is not None and obs.on_trap:
             obs.trap(TrapPosted(
-                node=self.node.id, kind=kind.value,
-                at=self.node.machine.sim.now,
-                cost=cost.latency, pointers=pointers,
+                node=node.id, kind=kind.value,
+                at=node.machine.sim.now,
+                cost=cost.latency, pointers=pointers, txn=txn,
             ))
-        self.node.processor.post_trap(kind, cost, completion,
-                                      pointers=pointers,
-                                      implementation=self.implementation)
+
+        def complete() -> None:
+            prev = node.current_txn
+            node.current_txn = txn
+            completion()
+            node.current_txn = prev
+
+        node.processor.post_trap(kind, cost, complete,
+                                 pointers=pointers,
+                                 implementation=self.implementation,
+                                 txn=txn)

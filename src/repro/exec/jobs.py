@@ -48,6 +48,12 @@ class SimJob:
     params: MachineParams
     software: str = "flexible"
     track_worker_sets: bool = False
+    #: Collect a cycle-attribution artifact (repro.obs.attribution)
+    #: alongside the counters.  Part of the spec — an attributed result
+    #: carries more data, so it caches under a different key — but the
+    #: dimension is only *added* to the canonical form when enabled, so
+    #: every pre-existing cache entry keeps its key.
+    attribution: bool = False
 
     def build_workload(self) -> Workload:
         return self.workload_cls(**dict(self.workload_kwargs))
@@ -64,6 +70,7 @@ def make_job(
     perfect_ifetch: bool = False,
     software: str = "flexible",
     track_worker_sets: bool = False,
+    attribution: bool = False,
 ) -> SimJob:
     """Build a :class:`SimJob`, normalising kwargs and machine params.
 
@@ -85,6 +92,7 @@ def make_job(
         params=params,
         software=software,
         track_worker_sets=track_worker_sets,
+        attribution=attribution,
     )
 
 
@@ -100,7 +108,7 @@ def canonical_dict(job: SimJob) -> Dict[str, Any]:
     parameter change produces a different canonical form.
     """
     cls = job.workload_cls
-    return {
+    doc: Dict[str, Any] = {
         "workload": f"{cls.__module__}:{cls.__qualname__}",
         "workload_kwargs": dict(job.workload_kwargs),
         "protocol": job.protocol,
@@ -108,6 +116,11 @@ def canonical_dict(job: SimJob) -> Dict[str, Any]:
         "software": job.software,
         "track_worker_sets": job.track_worker_sets,
     }
+    if job.attribution:
+        # Added only when enabled: plain jobs keep their historical
+        # canonical form, keys, and cache entries.
+        doc["attribution"] = True
+    return doc
 
 
 def canonical_json(job: SimJob) -> str:
@@ -159,8 +172,20 @@ def execute_job(job: SimJob, check_invariants: bool = False) -> RunStats:
         from repro.core.protocol.invariants import InvariantChecker
 
         checker = InvariantChecker.attach(machine)
+    collector = None
+    if job.attribution:
+        from repro.obs.spans import SpanCollector
+
+        collector = SpanCollector.attach(machine)
     stats = machine.run(job.build_workload())
     if checker is not None:
         checker.finish()
         checker.assert_clean()
+    if collector is not None:
+        from repro.obs.attribution import AttributionReport, attribution_dict
+
+        stats.attribution = attribution_dict(
+            AttributionReport.build(collector),
+            config={"job": job_key(job)},
+        )
     return stats

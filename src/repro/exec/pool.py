@@ -20,6 +20,7 @@ CPU.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Union
@@ -71,14 +72,25 @@ class JobRunner:
         violation raises out of :meth:`run`.  Checking never changes
         results (observers are perturbation-free), so cached results
         remain valid and are returned unchecked.
+    attribution:
+        Rewrite every submitted job with ``attribution=True`` before
+        executing, so each result carries its cycle-attribution
+        artifact (:mod:`repro.obs.attribution`) and persists it through
+        the result cache.  Unlike ``check_invariants``, this *is* a
+        spec dimension — attributed and plain results *cache*
+        separately (existing plain-job cache keys are untouched) — but
+        the returned map is still keyed by the job as *submitted*, so
+        drivers that planned plain jobs look results up unchanged.
     """
 
     def __init__(self, jobs: JobsSpec = 1,
                  cache: Optional[ResultCache] = None,
-                 check_invariants: bool = False) -> None:
+                 check_invariants: bool = False,
+                 attribution: bool = False) -> None:
         self.n_workers = resolve_jobs(jobs)
         self.cache = cache
         self.check_invariants = check_invariants
+        self.attribution = attribution
         self._memo: Dict[str, RunStats] = {}
         self.jobs_executed = 0
         self.jobs_deduplicated = 0
@@ -94,13 +106,26 @@ class JobRunner:
         Duplicate specs run once; cached results (memo or disk) are not
         re-run.  The returned map covers every job in the plan.
         """
+        # aliases: key-as-submitted -> key-as-executed.  The two differ
+        # only when the runner upgrades plain jobs to attribution=True;
+        # callers keep looking results up by the key they planned with.
+        aliases: "OrderedDict[str, str]" = OrderedDict()
         unique: "OrderedDict[str, SimJob]" = OrderedDict()
         for job in plan:
-            key = job_key(job)
-            if key in unique:
+            submitted_key = job_key(job)
+            if self.attribution and not job.attribution:
+                job = dataclasses.replace(job, attribution=True)
+                exec_key = job_key(job)
+            else:
+                exec_key = submitted_key
+            if submitted_key in aliases:
+                self.jobs_deduplicated += 1
+                continue
+            aliases[submitted_key] = exec_key
+            if exec_key in unique:
                 self.jobs_deduplicated += 1
             else:
-                unique[key] = job
+                unique[exec_key] = job
 
         results: Dict[str, RunStats] = {}
         pending: "OrderedDict[str, SimJob]" = OrderedDict()
@@ -129,7 +154,8 @@ class JobRunner:
                 if self.cache is not None:
                     self.cache.put(pending[key], stats)
             self.jobs_executed += len(fresh)
-        return results
+        return {submitted: results[executed]
+                for submitted, executed in aliases.items()}
 
     def _run_serial(
         self, pending: "OrderedDict[str, SimJob]"

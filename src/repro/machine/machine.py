@@ -151,8 +151,17 @@ class Machine:
         #: called, so probe sites are a single None-check by default
         self.obs: Optional["EventBus"] = None
 
+        #: machine-wide coherence-transaction counter (tracing metadata;
+        #: ids are assigned at miss issue in deterministic event order)
+        self._txn_counter = 0
+
         self._done_at: Dict[int, int] = {}
         self._ran = False
+
+    def next_txn(self) -> int:
+        """Allocate the next coherence-transaction id (starts at 1)."""
+        self._txn_counter += 1
+        return self._txn_counter
 
     # ------------------------------------------------------------------
     # Code regions (instruction footprint of workload phases)

@@ -53,6 +53,11 @@ class Node:
             self, spec, self.interface
         )
         self.processor.watchdog_enabled = machine.watchdog_enabled
+        #: Transaction id of the coherence message currently being
+        #: dispatched (observability metadata; see `repro.obs.spans`).
+        #: Set around cache-/home-side dispatch so any message sent
+        #: synchronously in response inherits the causing transaction.
+        self.current_txn: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Messaging
@@ -60,14 +65,25 @@ class Node:
 
     def send_protocol(self, kind: str, dst: int, block: int,
                       requester: Optional[int] = None,
-                      extra_delay: int = 0) -> None:
-        """Launch a protocol (or barrier) message into the fabric."""
+                      extra_delay: int = 0,
+                      txn: Optional[int] = None) -> None:
+        """Launch a protocol (or barrier) message into the fabric.
+
+        ``txn`` tags the message with the transaction it serves; when
+        omitted it defaults to the transaction whose message is being
+        dispatched right now (``current_txn``), which covers every
+        synchronous response path (grants, invalidations, acks, busy
+        replies, fetches) without the protocol code having to thread it.
+        """
         params = self.machine.params
         size = message_size(kind, params.header_flits, params.data_flits)
         self.stats.messages_sent[kind] += 1
+        if txn is None:
+            txn = self.current_txn
         self.machine.fabric.send(
             Message(src=self.id, dst=dst, kind=kind, size_flits=size,
-                    payload=ProtoPayload(block=block, requester=requester)),
+                    payload=ProtoPayload(block=block, requester=requester,
+                                         txn=txn)),
             extra_delay=extra_delay,
         )
 
@@ -75,9 +91,13 @@ class Node:
         """Fabric delivery callback: route to the right component."""
         kind = message.kind
         if kind in _CACHE_SIDE:
+            self.current_txn = message.payload.txn
             self.cache_ctrl.handle(message)
+            self.current_txn = None
         elif kind in _HOME_SIDE:
+            self.current_txn = message.payload.txn
             self.home.handle(message)
+            self.current_txn = None
         elif kind in _BARRIER:
             self.machine.barrier.handle(message)
         elif kind in LOCK_KINDS:

@@ -76,6 +76,7 @@ class Processor:
         self._stall_started = 0
         self._stall_kind = ""
         self._stall_block: Optional[int] = None
+        self._stall_txn: Optional[int] = None
         # Software context (protocol handlers serialise here).
         self.sw_busy_until = 0
         self._traps_deferred_until = 0
@@ -330,9 +331,16 @@ class Processor:
         self._stall_kind = ("write" if access is AccessType.WRITE
                             else "read")
         self._stall_block = block
+        # Every data miss opens a coherence transaction; the id follows
+        # the miss through every message/trap/handler it causes.  The
+        # counter lives on the machine, so assignment order is fixed by
+        # the (deterministic) event order and identical across runs.
+        txn = self.machine.next_txn()
+        self._stall_txn = txn
 
         def issue() -> None:
-            self.node.cache_ctrl.start_miss(access, block, self._memory_done)
+            self.node.cache_ctrl.start_miss(access, block,
+                                            self._memory_done, txn=txn)
 
         if at > self.sim.now:
             self.sim.at(at, self._guarded(issue))
@@ -344,6 +352,7 @@ class Processor:
         self._stall_started = at
         self._stall_kind = "ifetch"
         self._stall_block = block
+        self._stall_txn = None
 
         def issue() -> None:
             self.node.cache_ctrl.start_ifetch_miss(block, self._memory_done)
@@ -359,7 +368,8 @@ class Processor:
         obs = self.machine.obs
         if obs is not None and obs.on_stall:
             obs.stall(StallSpan(self.node.id, self._stall_started, now,
-                                self._stall_kind, self._stall_block))
+                                self._stall_kind, self._stall_block,
+                                self._stall_txn))
         self.state = ProcState.RUNNING
         self._invalidate_user_events()
         self._step()
@@ -384,6 +394,7 @@ class Processor:
         self._stall_started = at
         self._stall_kind = "lock"
         self._stall_block = None
+        self._stall_txn = None
 
         def request() -> None:
             self.machine.locks.acquire(self.node.id, lock_id,
@@ -400,6 +411,7 @@ class Processor:
         self._stall_started = at
         self._stall_kind = "reduce"
         self._stall_block = None
+        self._stall_txn = None
 
         def contribute() -> None:
             self.machine.reductions.contribute(
@@ -423,7 +435,8 @@ class Processor:
 
     def post_trap(self, kind: TrapKind, cost: HandlerCost,
                   completion: Callable[[], None], pointers: int = 0,
-                  implementation: str = "flexible") -> None:
+                  implementation: str = "flexible",
+                  txn: Optional[int] = None) -> None:
         """Queue a protocol handler on this node's processor."""
         now = self.sim.now
         if self.state is ProcState.COMPUTING:
@@ -465,7 +478,7 @@ class Processor:
                 node=self.node.id, start=start,
                 end=self.sw_busy_until, kind=_sample_kind(kind),
                 implementation=implementation, pointers=pointers,
-                latency=cost.latency,
+                latency=cost.latency, txn=txn,
             ))
 
         def complete() -> None:

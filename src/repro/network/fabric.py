@@ -127,6 +127,7 @@ class Fabric:
             size_flits=msg.size_flits, sent_at=msg.sent_at,
             delivered_at=msg.delivered_at,
             block=getattr(msg.payload, "block", None),
+            txn=getattr(msg.payload, "txn", None),
         ))
 
     # ------------------------------------------------------------------

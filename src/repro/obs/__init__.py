@@ -13,7 +13,13 @@ provides the machinery to *watch* a run without perturbing it:
 - :mod:`repro.obs.hist` — exact integer histograms with p50/p90/p99
   queries over handler and end-to-end remote-access latencies;
 - :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
-  ``chrome://tracing``) and a deterministic metrics dump.
+  ``chrome://tracing``) and a deterministic metrics dump;
+- :mod:`repro.obs.spans` — per-transaction span trees: every data miss
+  carries a deterministic transaction id through messages, traps,
+  handlers, and directory transitions;
+- :mod:`repro.obs.attribution` — exact critical-path cycle accounting:
+  every stall cycle lands in one named bucket, and the bucket totals
+  sum cycle-for-cycle to the run's stall count.
 
 Observers subscribe to a :class:`~repro.obs.events.EventBus` obtained
 from :meth:`Machine.observe() <repro.machine.machine.Machine.observe>`;
@@ -39,6 +45,14 @@ from repro.obs.export import (
     metrics_dict,
     write_json,
 )
+from repro.obs.spans import SpanCollector, TransactionTrace, format_trace
+from repro.obs.attribution import (
+    ATTRIBUTION_SCHEMA,
+    BUCKETS,
+    AttributionReport,
+    attribute_stall,
+    attribution_dict,
+)
 
 __all__ = [
     "EventBus",
@@ -57,4 +71,12 @@ __all__ = [
     "chrome_trace",
     "metrics_dict",
     "write_json",
+    "SpanCollector",
+    "TransactionTrace",
+    "format_trace",
+    "ATTRIBUTION_SCHEMA",
+    "BUCKETS",
+    "AttributionReport",
+    "attribute_stall",
+    "attribution_dict",
 ]

@@ -51,6 +51,13 @@ class StallSpan:
     remote-access latency, retries included), ``"ifetch"`` for local
     instruction fills, ``"lock"``/``"reduce"`` for synchronisation, and
     ``"sw_wait"`` for user code waiting on the busy software context.
+
+    ``txn`` is the machine-wide transaction id assigned when a data
+    miss is issued; every message, trap, handler span, and directory
+    transition caused by that miss carries the same id, so the full
+    causal chain can be stitched back together (`repro.obs.spans`).
+    Non-miss stalls (``ifetch``/``lock``/``reduce``/``sw_wait``) have
+    ``txn is None``.
     """
 
     node: int
@@ -58,6 +65,7 @@ class StallSpan:
     end: int
     kind: str
     block: Optional[int] = None
+    txn: Optional[int] = None
 
     @property
     def latency(self) -> int:
@@ -75,6 +83,7 @@ class HandlerSpan:
     implementation: str
     pointers: int
     latency: int  # handler cost excluding trap-dispatch overhead
+    txn: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +95,7 @@ class TrapPosted:
     at: int
     cost: int
     pointers: int
+    txn: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,6 +109,7 @@ class MessageSent:
     sent_at: int
     delivered_at: int
     block: Optional[int] = None
+    txn: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -125,6 +136,7 @@ class TransitionApplied:
     rule: str
     next_label: Optional[str]
     busy: bool
+    txn: Optional[int] = None
 
 
 class EventBus:

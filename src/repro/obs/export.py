@@ -73,36 +73,70 @@ class TraceCollector:
                 + len(self.handler_spans) + len(self.messages))
 
 
+def _cpu_lane(node: int) -> int:
+    return 2 * node
+
+
+def _sw_lane(node: int) -> int:
+    return 2 * node + 1
+
+
 def chrome_trace(collector: TraceCollector,
                  n_nodes: Optional[int] = None) -> Dict[str, object]:
-    """Build a Trace Event Format document from collected events."""
+    """Build a Trace Event Format document from collected events.
+
+    Each node gets *two* lanes: an even-numbered cpu lane (user and
+    stall spans) and an odd-numbered software lane (protocol handler
+    occupancy).  Handlers run while user code is stalled or pre-empted,
+    and the processor batches short user work into windows that can
+    wall-clock-overlap a handler on the same node — separate lanes keep
+    every lane's slices non-overlapping, which the trace viewers
+    require for correct nesting.
+
+    Messages appear as flow arrows (``cat: "message"``) between cpu
+    lanes; transactions as flow chains (``cat: "txn"``) from the
+    requester's stall slice through every software handler the miss
+    triggered.  An empty collector still yields a valid document
+    (metadata only).
+    """
     events: List[Dict[str, object]] = []
     nodes = set()
+    sw_nodes = set()
     for span in collector.user_spans:
         nodes.add(span.node)
         events.append({
-            "ph": "X", "pid": 0, "tid": span.node,
+            "ph": "X", "pid": 0, "tid": _cpu_lane(span.node),
             "ts": span.start, "dur": span.end - span.start,
             "name": "user", "cat": "cpu",
         })
+    txn_stalls: Dict[int, StallSpan] = {}
     for span in collector.stall_spans:
         nodes.add(span.node)
         args: Dict[str, object] = {}
         if span.block is not None:
             args["block"] = span.block
+        if span.txn is not None:
+            args["txn"] = span.txn
+            txn_stalls[span.txn] = span
         events.append({
-            "ph": "X", "pid": 0, "tid": span.node,
+            "ph": "X", "pid": 0, "tid": _cpu_lane(span.node),
             "ts": span.start, "dur": span.end - span.start,
             "name": f"stall:{span.kind}", "cat": "stall", "args": args,
         })
+    txn_handlers: Dict[int, List[HandlerSpan]] = {}
     for span in collector.handler_spans:
         nodes.add(span.node)
+        sw_nodes.add(span.node)
+        args = {"pointers": span.pointers,
+                "implementation": span.implementation}
+        if span.txn is not None:
+            args["txn"] = span.txn
+            txn_handlers.setdefault(span.txn, []).append(span)
         events.append({
-            "ph": "X", "pid": 0, "tid": span.node,
+            "ph": "X", "pid": 0, "tid": _sw_lane(span.node),
             "ts": span.start, "dur": span.end - span.start,
             "name": f"handler:{span.kind}", "cat": "software",
-            "args": {"pointers": span.pointers,
-                     "implementation": span.implementation},
+            "args": args,
         })
     for index, message in enumerate(collector.messages):
         nodes.add(message.src)
@@ -111,21 +145,50 @@ def chrome_trace(collector: TraceCollector,
         args = {"size_flits": message.size_flits}
         if message.block is not None:
             args["block"] = message.block
+        if message.txn is not None:
+            args["txn"] = message.txn
         # Flow arrows from send to delivery; the instant event keeps
         # deliveries visible even outside an enclosing slice.
         events.append({
-            "ph": "s", "id": index, "pid": 0, "tid": message.src,
+            "ph": "s", "id": index, "pid": 0,
+            "tid": _cpu_lane(message.src),
             "ts": message.sent_at, "name": name, "cat": "message",
         })
         events.append({
             "ph": "f", "bp": "e", "id": index, "pid": 0,
-            "tid": message.dst, "ts": message.delivered_at,
+            "tid": _cpu_lane(message.dst), "ts": message.delivered_at,
             "name": name, "cat": "message",
         })
         events.append({
-            "ph": "i", "s": "t", "pid": 0, "tid": message.dst,
+            "ph": "i", "s": "t", "pid": 0, "tid": _cpu_lane(message.dst),
             "ts": message.delivered_at, "name": name, "cat": "message",
             "args": args,
+        })
+    # Transaction flow chains: stall slice -> handler slice(s).  Flow
+    # ids live in their own (cat, id) space so they never collide with
+    # message arrows.
+    for txn in sorted(txn_handlers):
+        stall = txn_stalls.get(txn)
+        if stall is None:
+            continue  # transaction outlived the recorded window
+        handlers = txn_handlers[txn]
+        name = f"txn:{txn}"
+        events.append({
+            "ph": "s", "id": txn, "pid": 0,
+            "tid": _cpu_lane(stall.node), "ts": stall.start,
+            "name": name, "cat": "txn",
+        })
+        for h in handlers[:-1]:
+            events.append({
+                "ph": "t", "id": txn, "pid": 0,
+                "tid": _sw_lane(h.node), "ts": h.start,
+                "name": name, "cat": "txn",
+            })
+        last = handlers[-1]
+        events.append({
+            "ph": "f", "bp": "e", "id": txn, "pid": 0,
+            "tid": _sw_lane(last.node), "ts": last.start,
+            "name": name, "cat": "txn",
         })
 
     if n_nodes is not None:
@@ -136,12 +199,23 @@ def chrome_trace(collector: TraceCollector,
     }]
     for node in sorted(nodes):
         meta.append({
-            "ph": "M", "pid": 0, "tid": node, "name": "thread_name",
-            "args": {"name": f"node {node}"},
+            "ph": "M", "pid": 0, "tid": _cpu_lane(node),
+            "name": "thread_name", "args": {"name": f"node {node}"},
         })
         meta.append({
-            "ph": "M", "pid": 0, "tid": node, "name": "thread_sort_index",
-            "args": {"sort_index": node},
+            "ph": "M", "pid": 0, "tid": _cpu_lane(node),
+            "name": "thread_sort_index",
+            "args": {"sort_index": _cpu_lane(node)},
+        })
+    for node in sorted(sw_nodes):
+        meta.append({
+            "ph": "M", "pid": 0, "tid": _sw_lane(node),
+            "name": "thread_name", "args": {"name": f"node {node} sw"},
+        })
+        meta.append({
+            "ph": "M", "pid": 0, "tid": _sw_lane(node),
+            "name": "thread_sort_index",
+            "args": {"sort_index": _sw_lane(node)},
         })
     events.sort(key=lambda ev: (ev["ts"], ev["tid"], ev["ph"]))
     return {

@@ -1,0 +1,195 @@
+"""Per-transaction span trees reconstructed from the event bus.
+
+Flat probe events (:mod:`repro.obs.events`) answer *what happened*;
+this module answers *why a particular access was slow*.  Every data
+miss opens a coherence transaction (``Machine.next_txn``, assigned in
+``Processor._begin_miss``), and the id rides every message the miss
+causes (via ``ProtoPayload.txn``), every directory transition it fires,
+every trap it posts, and every handler occupancy it schedules.  A
+:class:`SpanCollector` groups those events back into one
+:class:`TransactionTrace` per miss — the causal chain
+
+    miss -> request message -> home transition [-> trap -> handler]
+         [-> invalidation fan-out -> ack gather] -> data grant -> fill
+
+— which :mod:`repro.obs.attribution` then decomposes cycle-by-cycle.
+
+Determinism: transaction ids are allocated in simulation event order,
+which is itself deterministic, so the same configuration produces the
+same ids, the same traces, and byte-identical rendered output on every
+run (and across ``--jobs`` settings of the experiment runner: ids are
+per-:class:`~repro.machine.machine.Machine`, never shared between
+processes).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.obs.events import (
+    HandlerSpan,
+    MessageSent,
+    StallSpan,
+    TransitionApplied,
+    TrapPosted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+__all__ = ["TransactionTrace", "SpanCollector", "format_trace"]
+
+
+class TransactionTrace:
+    """Everything one coherence transaction did, in emission order.
+
+    ``stall`` is filled in when the requesting processor unblocks; a
+    trace whose stall is still ``None`` belongs to a transaction that
+    had not completed when the run ended (possible only for aborted
+    runs — a finished workload has no outstanding misses).
+    """
+
+    __slots__ = ("txn", "stall", "messages", "handlers", "traps",
+                 "transitions")
+
+    def __init__(self, txn: int) -> None:
+        self.txn = txn
+        self.stall: Optional[StallSpan] = None
+        self.messages: List[MessageSent] = []
+        self.handlers: List[HandlerSpan] = []
+        self.traps: List[TrapPosted] = []
+        self.transitions: List[TransitionApplied] = []
+
+    # Convenience accessors -------------------------------------------
+
+    @property
+    def node(self) -> Optional[int]:
+        return self.stall.node if self.stall is not None else None
+
+    @property
+    def kind(self) -> Optional[str]:
+        return self.stall.kind if self.stall is not None else None
+
+    @property
+    def latency(self) -> int:
+        return self.stall.latency if self.stall is not None else 0
+
+    @property
+    def retries(self) -> int:
+        """BUSY replies received (each one forced a retry)."""
+        return sum(1 for m in self.messages if m.kind == "busy")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TransactionTrace(txn={self.txn}, kind={self.kind!r}, "
+                f"latency={self.latency}, msgs={len(self.messages)}, "
+                f"handlers={len(self.handlers)})")
+
+
+class SpanCollector:
+    """Subscribes to the bus and groups events by transaction id.
+
+    Also keeps *every* stall span (tagged or not) in emission order, so
+    downstream attribution can account for non-miss stalls — ifetch
+    fills, lock/reduction waits, and software-context waits — which
+    carry no transaction id.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[int, TransactionTrace] = {}
+        #: every StallSpan in emission order (misses and otherwise)
+        self.stalls: List[StallSpan] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, machine: "Machine") -> "SpanCollector":
+        """Create a collector subscribed to ``machine``'s bus."""
+        self = cls()
+        bus = machine.observe()
+        bus.on_stall.append(self._on_stall)
+        bus.on_handler.append(self._on_handler)
+        bus.on_trap.append(self._on_trap)
+        bus.on_message.append(self._on_message)
+        bus.on_transition.append(self._on_transition)
+        return self
+
+    def _trace(self, txn: int) -> TransactionTrace:
+        trace = self._traces.get(txn)
+        if trace is None:
+            trace = self._traces[txn] = TransactionTrace(txn)
+        return trace
+
+    def _on_stall(self, ev: StallSpan) -> None:
+        self.stalls.append(ev)
+        if ev.txn is not None:
+            self._trace(ev.txn).stall = ev
+
+    def _on_handler(self, ev: HandlerSpan) -> None:
+        if ev.txn is not None:
+            self._trace(ev.txn).handlers.append(ev)
+
+    def _on_trap(self, ev: TrapPosted) -> None:
+        if ev.txn is not None:
+            self._trace(ev.txn).traps.append(ev)
+
+    def _on_message(self, ev: MessageSent) -> None:
+        if ev.txn is not None:
+            self._trace(ev.txn).messages.append(ev)
+
+    def _on_transition(self, ev: TransitionApplied) -> None:
+        if ev.txn is not None:
+            self._trace(ev.txn).transitions.append(ev)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def transactions(self) -> List[TransactionTrace]:
+        """All traces, ordered by transaction id."""
+        return [self._traces[txn] for txn in sorted(self._traces)]
+
+    def trace(self, txn: int) -> Optional[TransactionTrace]:
+        return self._traces.get(txn)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+def format_trace(trace: TransactionTrace) -> str:
+    """Human-readable timeline of one transaction (debugging / docs).
+
+    Events are listed by start time with per-line arrows; output is
+    deterministic (pure function of the trace).
+    """
+    lines: List[str] = []
+    stall = trace.stall
+    if stall is not None:
+        lines.append(
+            f"txn {trace.txn}: node {stall.node} {stall.kind} miss "
+            f"block {stall.block} [{stall.start}..{stall.end}) "
+            f"= {stall.latency} cycles"
+        )
+    else:
+        lines.append(f"txn {trace.txn}: (incomplete)")
+    rows = []
+    for m in trace.messages:
+        rows.append((m.sent_at, 0,
+                     f"  msg  {m.kind:<10} {m.src}->{m.dst} "
+                     f"[{m.sent_at}..{m.delivered_at})"))
+    for t in trace.transitions:
+        rows.append((t.at, 1,
+                     f"  dir  {t.event:<10} @home {t.node} "
+                     f"{t.before}->{t.after} ({t.rule}) @{t.at}"))
+    for p in trace.traps:
+        rows.append((p.at, 2,
+                     f"  trap {p.kind:<10} node {p.node} @{p.at} "
+                     f"cost {p.cost}"))
+    for h in trace.handlers:
+        rows.append((h.start, 3,
+                     f"  sw   {h.kind:<10} node {h.node} "
+                     f"[{h.start}..{h.end}) {h.implementation}"))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    lines.extend(text for _, _, text in rows)
+    return "\n".join(lines)

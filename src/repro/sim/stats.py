@@ -154,6 +154,11 @@ class RunStats:
     handler_samples: List[HandlerSample]
     sequential_cycles: int
     worker_set_histogram: Optional[Mapping[int, int]] = None
+    #: Optional cycle-attribution artifact (repro.obs.attribution),
+    #: filled in when a job requests attribution.  ``None`` stays
+    #: *absent* from the JSON form, so results of ordinary runs — and
+    #: their pinned digests — are unchanged by this field's existence.
+    attribution: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # JSON round-trip (repro.exec result cache)
@@ -168,7 +173,7 @@ class RunStats:
         number (speedups, latency means, histograms) is bit-identical.
         """
         histogram = self.worker_set_histogram
-        return {
+        doc: Dict[str, object] = {
             "run_cycles": self.run_cycles,
             "n_nodes": self.n_nodes,
             "sequential_cycles": self.sequential_cycles,
@@ -181,6 +186,9 @@ class RunStats:
                 else {str(size): count for size, count in histogram.items()}
             ),
         }
+        if self.attribution is not None:
+            doc["attribution"] = self.attribution
+        return doc
 
     @classmethod
     def from_json_dict(cls, doc: Mapping[str, object]) -> "RunStats":
@@ -197,6 +205,7 @@ class RunStats:
                 None if histogram is None
                 else {int(size): count for size, count in histogram.items()}
             ),
+            attribution=doc.get("attribution"),
         )
 
     def digest(self) -> str:

@@ -16,6 +16,7 @@ MODULES = [
     "repro.analysis.experiments",
     "repro.analysis.model",
     "repro.analysis.profiling",
+    "repro.analysis.regression",
     "repro.analysis.report",
     "repro.analysis.reportgen",
     "repro.analysis.verify",
@@ -60,9 +61,11 @@ MODULES = [
     "repro.network.fabric",
     "repro.network.topology",
     "repro.obs",
+    "repro.obs.attribution",
     "repro.obs.events",
     "repro.obs.export",
     "repro.obs.hist",
+    "repro.obs.spans",
     "repro.obs.timeseries",
     "repro.sim",
     "repro.sim.engine",

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -203,3 +205,143 @@ class TestSweepAndCost:
         assert code == 0
         assert "Cost vs performance" in out
         assert "Directory cost scaling" in out
+
+
+class TestAnalyze:
+    ARGS = ("analyze", "--nodes", "16", "--size", "4",
+            "--iterations", "1", "--protocol", "DirnH2SNB")
+
+    def test_stdout_artifact(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS)
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "repro-attribution/1"
+        assert doc["residual"] == 0
+        assert sum(doc["buckets"].values()) == doc["stall_cycles"]
+        assert doc["config"]["app"] == "worker"
+        assert doc["config"]["nodes"] == 16
+
+    def test_file_artifact_and_summary(self, capsys, tmp_path):
+        path = tmp_path / "attr.json"
+        code, out = run_cli(capsys, *self.ARGS, "--out", str(path))
+        assert code == 0
+        assert "stall cycles" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-attribution/1"
+
+    def test_artifact_is_byte_identical_across_runs(self, capsys,
+                                                    tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli(capsys, *self.ARGS, "--out", str(a))
+        run_cli(capsys, *self.ARGS, "--out", str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_show_txn_prints_a_trace(self, capsys):
+        code = main(list(self.ARGS) + ["--show-txn", "1",
+                                       "--out", "-"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "txn 1:" in captured.err
+
+    def test_application_workloads_work_too(self, capsys):
+        code, out = run_cli(capsys, "analyze", "--app", "aq",
+                            "--nodes", "16", "--protocol", "DirnH2SNB")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["residual"] == 0
+        assert doc["config"]["app"] == "aq"
+
+
+class TestDiff:
+    def _artifact(self, capsys, tmp_path, name, protocol="DirnH2SNB"):
+        path = tmp_path / name
+        code, _out = run_cli(capsys, "analyze", "--nodes", "16",
+                             "--size", "4", "--iterations", "1",
+                             "--protocol", protocol,
+                             "--out", str(path))
+        assert code == 0
+        return path
+
+    def test_identical_artifacts_are_ok(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        b = self._artifact(capsys, tmp_path, "b.json")
+        code, out = run_cli(capsys, "diff", str(a), str(b))
+        assert code == 0
+        assert "OK" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        worse_doc = json.loads(a.read_text())
+        worse_doc["buckets"]["retry"] += 50_000
+        worse_doc["stall_cycles"] += 50_000
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(worse_doc))
+        code, out = run_cli(capsys, "diff", str(a), str(worse))
+        assert code == 1
+        assert "REGRESSIONS: retry" in out
+
+    def test_bucket_threshold_override(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        worse_doc = json.loads(a.read_text())
+        worse_doc["buckets"]["retry"] += 50_000
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(worse_doc))
+        code, _out = run_cli(capsys, "diff", str(a), str(worse),
+                             "--bucket-threshold", "retry=1e9")
+        assert code == 0
+
+    def test_baseline_mode_needs_one_artifact(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        b = self._artifact(capsys, tmp_path, "b.json")
+        code = main(["diff", str(a), str(b),
+                     "--baseline", str(a)])
+        assert code == 2
+
+    def test_baseline_mode(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        b = self._artifact(capsys, tmp_path, "b.json")
+        code, out = run_cli(capsys, "diff", str(b),
+                            "--baseline", str(a))
+        assert code == 0
+        assert "OK" in out
+
+    def test_missing_file_is_a_usage_error(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        code = main(["diff", str(a), str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_wrong_schema_is_a_usage_error(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"schema": "repro-metrics/1"}')
+        code = main(["diff", str(a), str(junk)])
+        assert code == 2
+
+    def test_json_output(self, capsys, tmp_path):
+        a = self._artifact(capsys, tmp_path, "a.json")
+        b = self._artifact(capsys, tmp_path, "b.json")
+        out_doc = tmp_path / "diff.json"
+        code, _out = run_cli(capsys, "diff", str(a), str(b),
+                             "--json", str(out_doc))
+        assert code == 0
+        doc = json.loads(out_doc.read_text())
+        assert doc["schema"] == "repro-attribution-diff/1"
+        assert doc["ok"]
+
+
+class TestExperimentsAttribution:
+    def test_flag_persists_artifacts_through_the_cache(self, capsys,
+                                                       tmp_path):
+        out_md = tmp_path / "EXPERIMENTS.md"
+        cache_dir = tmp_path / "cache"
+        code, _out = run_cli(capsys, "experiments", "--quick",
+                             "--attribution",
+                             "--cache-dir", str(cache_dir),
+                             "--out", str(out_md))
+        assert code == 0
+        entries = list(cache_dir.rglob("*.json"))
+        assert entries
+        for entry in entries:
+            doc = json.loads(entry.read_text())
+            stats = doc.get("stats", doc)
+            assert "attribution" in stats

@@ -214,6 +214,92 @@ class TestJobRunner:
 
 
 # ----------------------------------------------------------------------
+# Attribution as a spec dimension
+# ----------------------------------------------------------------------
+
+class TestAttributionJobs:
+    def test_flag_changes_the_key_only_when_enabled(self):
+        plain = tiny_job()
+        attributed = make_job(WorkerBenchmark, TINY,
+                              protocol="DirnH5SNB", n_nodes=16,
+                              attribution=True)
+        assert job_key(plain) != job_key(attributed)
+        # the canonical form of a plain job is untouched by the new
+        # dimension — every historical cache key survives
+        assert "attribution" not in canonical_json(plain)
+        assert '"attribution":true' in canonical_json(attributed)
+
+    def test_executed_job_carries_the_artifact(self):
+        stats = execute_job(make_job(WorkerBenchmark, TINY,
+                                     protocol="DirnH5SNB", n_nodes=16,
+                                     attribution=True))
+        doc = stats.attribution
+        assert doc is not None
+        assert doc["schema"] == "repro-attribution/1"
+        assert doc["residual"] == 0
+        assert sum(doc["buckets"].values()) == doc["stall_cycles"]
+
+    def test_plain_job_has_no_artifact(self):
+        stats = execute_job(tiny_job())
+        assert stats.attribution is None
+        assert "attribution" not in stats.to_json_dict()
+
+    def test_attribution_does_not_change_the_numbers(self):
+        plain = execute_job(tiny_job())
+        attributed = execute_job(make_job(WorkerBenchmark, TINY,
+                                          protocol="DirnH5SNB",
+                                          n_nodes=16,
+                                          attribution=True))
+        assert plain.run_cycles == attributed.run_cycles
+        assert plain.total("stall_cycles") == \
+            attributed.total("stall_cycles")
+
+    def test_runner_upgrade_keeps_submitted_keys(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = [tiny_job(), tiny_job(protocol="DirnH2SNB")]
+        runner = JobRunner(jobs=1, cache=cache, attribution=True)
+        results = runner.run(plan)
+        # callers look results up by the key they planned with ...
+        assert set(results) == {job_key(job) for job in plan}
+        for job in plan:
+            assert results[job_key(job)].attribution is not None
+        # ... while the cache holds the attributed spec, so a plain
+        # runner does not see these entries
+        plain_runner = JobRunner(jobs=1, cache=cache)
+        plain_runner.run([tiny_job()])
+        assert plain_runner.jobs_executed == 1
+
+    def test_artifacts_identical_across_jobs_values(self):
+        # txn ids are per-machine, so serial and fanned-out execution
+        # produce byte-identical attribution artifacts
+        plan = [make_job(WorkerBenchmark, TINY, protocol="DirnH5SNB",
+                         n_nodes=16, attribution=True),
+                make_job(WorkerBenchmark, TINY, protocol="DirnH2SNB",
+                         n_nodes=16, attribution=True)]
+        serial = JobRunner(jobs=1).run(plan)
+        parallel = JobRunner(jobs="auto").run(plan)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            blob_serial = json.dumps(serial[key].attribution,
+                                     sort_keys=True)
+            blob_parallel = json.dumps(parallel[key].attribution,
+                                       sort_keys=True)
+            assert blob_serial == blob_parallel
+
+    def test_artifact_round_trips_through_the_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = [tiny_job()]
+        runner = JobRunner(jobs=1, cache=cache, attribution=True)
+        fresh = runner.run(plan)
+        warm = JobRunner(jobs=1, cache=cache, attribution=True)
+        replayed = warm.run(plan)
+        assert warm.jobs_executed == 0
+        key = job_key(plan[0])
+        assert json.dumps(fresh[key].attribution, sort_keys=True) == \
+            json.dumps(replayed[key].attribution, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
 # Driver-level determinism: the headline property
 # ----------------------------------------------------------------------
 

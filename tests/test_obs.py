@@ -20,6 +20,7 @@ from repro.obs import (
     HistogramSet,
     IntervalSampler,
     LatencyRecorder,
+    SpanCollector,
     TraceCollector,
     chrome_trace,
     metrics_dict,
@@ -142,7 +143,8 @@ class TestZeroPerturbation:
         if observe:
             observers = (TraceCollector.attach(machine),
                          LatencyRecorder.attach(machine),
-                         IntervalSampler.attach(machine, every=1000))
+                         IntervalSampler.attach(machine, every=1000),
+                         SpanCollector.attach(machine))
         stats = machine.run(WorkerBenchmark(worker_set_size=6,
                                             iterations=2))
         return stats, observers
@@ -151,6 +153,7 @@ class TestZeroPerturbation:
         bare, _ = self.run_worker(observe=False)
         observed, observers = self.run_worker(observe=True)
         assert observers is not None and len(observers[0]) > 0
+        assert len(observers[3]) > 0  # span tracing was live too
         assert observed.run_cycles == bare.run_cycles
         for a, b in zip(bare.per_node, observed.per_node):
             assert dataclasses.asdict(a) == dataclasses.asdict(b)
@@ -326,9 +329,17 @@ class TestChromeTrace:
     def test_every_node_has_a_track(self):
         _machine, _stats, collector, _rec, _smp = observed_run()
         doc = chrome_trace(collector, n_nodes=9)
-        tracks = {ev["tid"] for ev in doc["traceEvents"]
-                  if ev["ph"] == "M" and ev["name"] == "thread_name"}
-        assert tracks == set(range(9))
+        names = {ev["tid"]: ev["args"]["name"]
+                 for ev in doc["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        # Every node gets an even cpu lane; odd software lanes exist
+        # only for nodes that actually ran a handler.
+        assert {2 * n for n in range(9)} <= set(names)
+        for node in range(9):
+            assert names[2 * node] == f"node {node}"
+        for tid, name in names.items():
+            if tid % 2:
+                assert name == f"node {tid // 2} sw"
 
     def test_spans_have_nonnegative_durations(self):
         _machine, _stats, collector, _rec, _smp = observed_run()
@@ -342,11 +353,55 @@ class TestChromeTrace:
         _machine, _stats, collector, _rec, _smp = observed_run()
         doc = chrome_trace(collector)
         starts = {ev["id"] for ev in doc["traceEvents"]
-                  if ev["ph"] == "s"}
+                  if ev["ph"] == "s" and ev["cat"] == "message"}
         finishes = {ev["id"] for ev in doc["traceEvents"]
-                    if ev["ph"] == "f"}
+                    if ev["ph"] == "f" and ev["cat"] == "message"}
         assert starts == finishes
         assert len(starts) == len(collector.messages)
+
+    def test_txn_flows_pair_up(self):
+        _machine, _stats, collector, _rec, _smp = observed_run()
+        doc = chrome_trace(collector)
+        starts = {ev["id"] for ev in doc["traceEvents"]
+                  if ev["ph"] == "s" and ev["cat"] == "txn"}
+        finishes = {ev["id"] for ev in doc["traceEvents"]
+                    if ev["ph"] == "f" and ev["cat"] == "txn"}
+        assert starts == finishes
+        # Every chain starts on the requester's cpu lane at the stall
+        # and finishes on a software lane at a handler start.
+        for ev in doc["traceEvents"]:
+            if ev.get("cat") != "txn":
+                continue
+            if ev["ph"] == "s":
+                assert ev["tid"] % 2 == 0
+            elif ev["ph"] in ("t", "f"):
+                assert ev["tid"] % 2 == 1
+
+    def test_empty_run_exports_valid_document(self):
+        collector = TraceCollector()
+        doc = chrome_trace(collector, n_nodes=4)
+        events = doc["traceEvents"]
+        assert events  # metadata survives an empty run
+        assert all(ev["ph"] == "M" for ev in events)
+        json.dumps(doc)  # serialisable
+
+    def test_lanes_never_overlap(self):
+        # Handler spans land on software lanes, user/stall spans on cpu
+        # lanes, so no lane ever holds two overlapping slices — the
+        # property trace viewers need for correct nesting.
+        _machine, _stats, collector, _rec, _smp = observed_run(
+            protocol="DirnH1SNB,ACK")
+        doc = chrome_trace(collector)
+        by_lane = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X":
+                by_lane.setdefault(ev["tid"], []).append(
+                    (ev["ts"], ev["ts"] + ev["dur"]))
+        assert collector.handler_spans  # the run exercised software
+        for lane, spans in sorted(by_lane.items()):
+            spans.sort()
+            for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+                assert e0 <= s1, f"overlap on lane {lane}"
 
     def test_json_serialisable(self, tmp_path):
         _machine, _stats, collector, _rec, _smp = observed_run()
