@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro worker --size 8 --nodes 16
     python -m repro cost --nodes 64
     python -m repro experiments --jobs auto
+    python -m repro experiments --progress --fleet-log sweep.jsonl
+    python -m repro status sweep.jsonl
     python -m repro run --app water --check-invariants
     python -m repro cache prune --max-age 7d --dry-run
 
@@ -35,7 +37,7 @@ from repro.analysis.experiments import (
     run_one,
 )
 from repro.analysis.report import format_table
-from repro.analysis.reportgen import write_experiments_md
+from repro.analysis.reportgen import SECTIONS, write_experiments_md
 from repro.core.protocol import InvariantChecker
 from repro.exec import DEFAULT_CACHE_DIR, JobRunner, ResultCache
 from repro.core.spec import PAPER_SPECTRUM, spec_of
@@ -43,14 +45,22 @@ from repro.machine.machine import Machine
 from repro.machine.params import MachineParams
 from repro.obs import (
     AttributionReport,
+    FleetMonitor,
     IntervalSampler,
     LatencyRecorder,
+    ProgressPrinter,
+    RunProgress,
     SpanCollector,
     TraceCollector,
     attribution_dict,
     chrome_trace,
+    format_fleet_summary,
     format_trace,
+    load_eta_hints,
     metrics_dict,
+    prometheus_snapshot,
+    read_fleet_log,
+    summarize_fleet_log,
     write_json,
 )
 from repro.workloads.worker import WorkerBenchmark
@@ -121,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run under the continuous protocol invariant "
                           "checker; exit 1 on any violation")
+    run.add_argument("--progress", action="store_true",
+                     help="live progress line on stderr (sim-cycle "
+                          "heartbeat; never changes results)")
 
     profile = sub.add_parser(
         "profile",
@@ -185,6 +198,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "per job and persist it through the "
                                   "result cache (attributed jobs cache "
                                   "under their own keys)")
+    experiments.add_argument("--progress", action="store_true",
+                             help="live fleet status line on stderr "
+                                  "(jobs, throughput, cache hit rate, "
+                                  "ETA; never changes the report)")
+    experiments.add_argument("--fleet-log", metavar="FILE", default=None,
+                             help="append every telemetry event to FILE "
+                                  "as repro-fleetlog/1 JSONL (summarize "
+                                  "later with 'repro status FILE')")
+    experiments.add_argument("--prom-out", metavar="FILE", default=None,
+                             help="write a Prometheus text-format "
+                                  "snapshot of the final sweep status")
 
     analyze = sub.add_parser(
         "analyze",
@@ -261,6 +285,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="report what would be deleted without "
                             "deleting anything")
 
+    status = sub.add_parser(
+        "status",
+        help="summarize a fleet log (repro-fleetlog/1 JSONL) written "
+             "by 'repro experiments --fleet-log'")
+    status.add_argument("logfile", metavar="LOGFILE",
+                        help="the JSONL fleet log to summarize")
+    status.add_argument("--json", dest="json_out", action="store_true",
+                        help="print the summary as JSON instead of text")
+    status.add_argument("--prom", action="store_true",
+                        help="print the summary in Prometheus text "
+                             "exposition format")
+
     check = sub.add_parser(
         "check",
         help="static verification: protocol model checker + "
@@ -320,7 +356,7 @@ def _machine_from(args: argparse.Namespace) -> Machine:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     machine = _machine_from(args)
-    collector = sampler = recorder = checker = None
+    collector = sampler = recorder = checker = progress = None
     if args.trace_out:
         collector = TraceCollector.attach(machine)
     if args.metrics_out:
@@ -328,9 +364,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         recorder = LatencyRecorder.attach(machine)
     if args.check_invariants:
         checker = InvariantChecker.attach(machine)
+    if args.progress:
+        progress = RunProgress.attach(
+            machine, f"{args.app}:{args.protocol}:{args.nodes}")
 
     workload = APPLICATIONS[args.app]()
     stats = machine.run(workload)
+    if progress is not None:
+        progress.finish(stats)
     print(f"{args.app.upper()} on {args.nodes} nodes, {args.protocol} "
           f"({args.software} software)")
     print(f"  run time        {stats.run_cycles:>12,} cycles")
@@ -593,12 +634,27 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    # Fleet telemetry is a pure side channel: the monitor, the progress
+    # line, and the JSONL log observe the sweep; the rendered report
+    # and every cache key are byte-identical with or without them
+    # (CI-gated).
+    monitor = printer = None
+    if args.progress or args.fleet_log or args.prom_out:
+        if args.progress:
+            printer = ProgressPrinter()
+        monitor = FleetMonitor(
+            log_path=args.fleet_log,
+            on_line=printer,
+            sections=[key for key, _ in SECTIONS],
+            eta_hints=load_eta_hints(),
+        )
     try:
         runner = JobRunner(
             jobs=args.jobs,
             cache=None if args.no_cache else ResultCache(args.cache_dir),
             check_invariants=args.check_invariants,
             attribution=args.attribution,
+            telemetry=monitor,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -607,17 +663,65 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     print(f"regenerating {args.out} ({preset} preset, "
           f"{runner.n_workers} worker"
           f"{'' if runner.n_workers == 1 else 's'})", flush=True)
+
+    label_to_key = {label: key for key, label in SECTIONS}
+
+    def on_progress(line: str) -> None:
+        if monitor is not None and line in label_to_key:
+            monitor.section(label_to_key[line])
+        if printer is not None:
+            printer.done()
+        print(line, flush=True)
+
+    if monitor is not None:
+        monitor.start(jobs=runner.n_workers)
     write_experiments_md(
-        args.out, runner=runner, preset=preset,
-        progress=lambda line: print(line, flush=True),
+        args.out, runner=runner, preset=preset, progress=on_progress,
     )
+    if monitor is not None:
+        monitor.finish(jobs_executed=runner.jobs_executed)
+    if printer is not None:
+        printer.done()
+    if args.prom_out and monitor is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_snapshot(monitor.summary()))
+        print(f"wrote {args.prom_out}")
     cache = runner.cache
-    cache_note = ("cache off" if cache is None
-                  else f"{cache.hits} cache hit"
-                       f"{'' if cache.hits == 1 else 's'}")
+    if cache is None:
+        cache_note = "cache off"
+    else:
+        lookups = cache.hits + cache.misses
+        rate = f" ({cache.hits / lookups:.0%} hit rate)" if lookups else ""
+        cache_note = (f"cache {cache.hits} hit"
+                      f"{'' if cache.hits == 1 else 's'} / "
+                      f"{cache.misses} miss"
+                      f"{'' if cache.misses == 1 else 'es'} / "
+                      f"{cache.stores} store"
+                      f"{'' if cache.stores == 1 else 's'}{rate}")
     print(f"wrote {args.out}: {runner.jobs_executed} jobs run, "
           f"{runner.jobs_deduplicated + runner.memo_hits} deduplicated, "
           f"{cache_note}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        events = read_fleet_log(args.logfile)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_fleet_log(events)
+    if args.prom:
+        print(prometheus_snapshot(summary), end="")
+    elif args.json_out:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"{args.logfile}: {summary['events']} events "
+              f"({summary['schema']})")
+        print(format_fleet_summary(summary))
     return 0
 
 
@@ -674,6 +778,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "diff": _cmd_diff,
     "experiments": _cmd_experiments,
+    "status": _cmd_status,
     "cache": _cmd_cache,
     "check": _cmd_check,
 }

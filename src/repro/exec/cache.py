@@ -34,7 +34,7 @@ import json
 import os
 import tempfile
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 
 class _Expired(Exception):
@@ -73,6 +73,12 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Optional telemetry hook, called as ``on_event(kind, job)``
+        #: with kind in {"hit", "miss", "put"} right after the counter
+        #: update.  A pure side channel: it observes lookups, it cannot
+        #: influence them (exceptions are swallowed), so cached bytes
+        #: and cache keys are identical with or without a listener.
+        self.on_event: Optional[Callable[[str, SimJob], None]] = None
 
     # ------------------------------------------------------------------
     # Paths
@@ -100,9 +106,18 @@ class ResultCache:
             stats = RunStats.from_json_dict(doc["stats"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            self._emit("miss", job)
             return None
         self.hits += 1
+        self._emit("hit", job)
         return stats
+
+    def _emit(self, kind: str, job: SimJob) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(kind, job)
+            except Exception:  # noqa: BLE001 - telemetry never propagates
+                pass
 
     def put(self, job: SimJob, stats: RunStats) -> str:
         """Store ``stats`` for ``job``; returns the file path.
@@ -130,6 +145,7 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        self._emit("put", job)
         return path
 
     # ------------------------------------------------------------------

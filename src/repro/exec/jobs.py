@@ -24,11 +24,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Any, Dict, Mapping, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Type
 
 from repro.machine.params import MachineParams
 from repro.sim.stats import RunStats
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.fleet import FleetTelemetry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,7 +150,8 @@ def job_key(job: SimJob) -> str:
 # Execution
 # ----------------------------------------------------------------------
 
-def execute_job(job: SimJob, check_invariants: bool = False) -> RunStats:
+def execute_job(job: SimJob, check_invariants: bool = False,
+                telemetry: Optional["FleetTelemetry"] = None) -> RunStats:
     """Run one job to completion on a fresh machine.
 
     Module-level (not a closure) so worker processes can unpickle and
@@ -156,8 +160,13 @@ def execute_job(job: SimJob, check_invariants: bool = False) -> RunStats:
     run (observers never perturb cycle counts, so the statistics are
     identical either way) and any violation raises
     :class:`~repro.core.protocol.invariants.InvariantViolation`.
-    ``check_invariants`` is an execution-mode flag, not part of the job
-    spec, so it never changes a job's cache key.
+
+    ``check_invariants`` and ``telemetry`` are execution-mode knobs,
+    not part of the job spec, so they never change a job's cache key.
+    A :class:`~repro.obs.fleet.FleetTelemetry` streams job lifecycle
+    events (started / sim-cycle heartbeats / finished with wall time
+    and peak RSS) to the parent; like every observer it reads state and
+    schedules nothing, so results are identical with it attached.
     """
     from repro.machine.machine import Machine
 
@@ -177,7 +186,21 @@ def execute_job(job: SimJob, check_invariants: bool = False) -> RunStats:
         from repro.obs.spans import SpanCollector
 
         collector = SpanCollector.attach(machine)
-    stats = machine.run(job.build_workload())
+    key = None
+    if telemetry is not None:
+        key = job_key(job)
+        telemetry.job_started(key, workload=job.workload_cls.__name__,
+                              protocol=job.protocol,
+                              n_nodes=job.params.n_nodes)
+        telemetry.watch(machine, key)
+    try:
+        stats = machine.run(job.build_workload())
+    except BaseException as exc:
+        if telemetry is not None:
+            telemetry.job_failed(key, exc)
+        raise
+    if telemetry is not None:
+        telemetry.job_finished(key, stats.run_cycles)
     if checker is not None:
         checker.finish()
         checker.assert_clean()

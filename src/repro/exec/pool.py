@@ -16,6 +16,15 @@ value.
 ``jobs=1`` runs everything in-process (no executor, no pickling) — the
 debugging-friendly serial fallback.  ``jobs="auto"`` uses one worker per
 CPU.
+
+**Fleet telemetry** (:mod:`repro.obs.fleet`) rides the runner as a pure
+side channel: pass ``telemetry=FleetMonitor(...)`` and the runner
+streams plan/cache/memo events itself, wires the result cache's hook,
+and — in pool mode — hands every worker process a ``multiprocessing``
+manager queue (via the executor's initializer) whose events a drain
+thread relays into the monitor.  Nothing telemetry produces feeds back
+into job selection, execution order, or results, so the result map and
+every cache key are byte-identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -23,11 +32,14 @@ from __future__ import annotations
 import dataclasses
 import os
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SimJob, execute_job, job_key
 from repro.sim.stats import RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.fleet import FleetMonitor
 
 JobsSpec = Union[int, str]
 
@@ -81,20 +93,49 @@ class JobRunner:
         separately (existing plain-job cache keys are untouched) — but
         the returned map is still keyed by the job as *submitted*, so
         drivers that planned plain jobs look results up unchanged.
+    telemetry:
+        A :class:`~repro.obs.fleet.FleetMonitor` that receives the
+        sweep's event stream: plan/dedup/memo events from the runner,
+        hit/miss/put events from the cache, and job lifecycle events
+        (start, sim-cycle heartbeats, finish with wall time and peak
+        RSS) from workers — in-process when serial, relayed over a
+        manager queue when pooled.  Strictly a side channel: results
+        and cache keys are byte-identical with or without it.
+    heartbeat_every:
+        Simulated cycles between worker ``job_progress`` heartbeats.
     """
 
     def __init__(self, jobs: JobsSpec = 1,
                  cache: Optional[ResultCache] = None,
                  check_invariants: bool = False,
-                 attribution: bool = False) -> None:
+                 attribution: bool = False,
+                 telemetry: Optional["FleetMonitor"] = None,
+                 heartbeat_every: Optional[int] = None) -> None:
         self.n_workers = resolve_jobs(jobs)
         self.cache = cache
         self.check_invariants = check_invariants
         self.attribution = attribution
+        self.telemetry = telemetry
+        if heartbeat_every is None:
+            from repro.obs.fleet import DEFAULT_HEARTBEAT
+
+            heartbeat_every = DEFAULT_HEARTBEAT
+        self.heartbeat_every = heartbeat_every
+        if telemetry is not None and cache is not None:
+            cache.on_event = self._cache_event
         self._memo: Dict[str, RunStats] = {}
         self.jobs_executed = 0
         self.jobs_deduplicated = 0
         self.memo_hits = 0
+
+    def _emit(self, event_type: str, **fields) -> None:
+        if self.telemetry is not None:
+            from repro.obs.fleet import event
+
+            self.telemetry.handle(event(event_type, **fields))
+
+    def _cache_event(self, kind: str, job: SimJob) -> None:
+        self._emit("cache_" + kind, key=job_key(job))
 
     # ------------------------------------------------------------------
     # Running
@@ -133,6 +174,7 @@ class JobRunner:
             memoized = self._memo.get(key)
             if memoized is not None:
                 self.memo_hits += 1
+                self._emit("memo_hit", key=key)
                 results[key] = memoized
                 continue
             if self.cache is not None:
@@ -142,6 +184,11 @@ class JobRunner:
                     results[key] = cached
                     continue
             pending[key] = job
+
+        self._emit("plan_enqueued", planned=len(plan), unique=len(unique),
+                   pending=len(pending))
+        for key in pending:
+            self._emit("job_queued", key=key)
 
         if pending:
             if self.n_workers == 1 or len(pending) == 1:
@@ -160,8 +207,16 @@ class JobRunner:
     def _run_serial(
         self, pending: "OrderedDict[str, SimJob]"
     ) -> Dict[str, RunStats]:
+        worker_telemetry = None
+        if self.telemetry is not None:
+            from repro.obs.fleet import FleetTelemetry
+
+            worker_telemetry = FleetTelemetry(
+                self.telemetry.handle,
+                heartbeat_every=self.heartbeat_every)
         return {
-            key: execute_job(job, check_invariants=self.check_invariants)
+            key: execute_job(job, check_invariants=self.check_invariants,
+                             telemetry=worker_telemetry)
             for key, job in pending.items()
         }
 
@@ -172,15 +227,82 @@ class JobRunner:
 
         workers = min(self.n_workers, len(pending))
         keys: List[str] = list(pending)
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                key: executor.submit(execute_job, pending[key],
-                                     self.check_invariants)
-                for key in keys
-            }
-            # Collect in plan order; completion order is irrelevant
-            # because results are keyed by spec.
-            return {key: futures[key].result() for key in keys}
+
+        if self.telemetry is None:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = {
+                    key: executor.submit(execute_job, pending[key],
+                                         self.check_invariants)
+                    for key in keys
+                }
+                # Collect in plan order; completion order is irrelevant
+                # because results are keyed by spec.
+                return {key: futures[key].result() for key in keys}
+
+        # Telemetry in pool mode: workers put events on a manager-queue
+        # proxy (picklable, unlike a raw multiprocessing.Queue, so it
+        # survives the trip through the executor's initargs) and a
+        # daemon drain thread relays them into the monitor while the
+        # futures run.  Results still collect in plan order — the
+        # telemetry path adds no ordering of its own.
+        import multiprocessing
+        import threading
+
+        with multiprocessing.Manager() as manager:
+            queue = manager.Queue()
+
+            def _drain() -> None:
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        return
+                    try:
+                        self.telemetry.handle(item)
+                    except Exception:  # noqa: BLE001 - side channel
+                        pass
+
+            drain = threading.Thread(target=_drain, daemon=True)
+            drain.start()
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_init_worker_telemetry,
+                        initargs=(queue, self.heartbeat_every)) as executor:
+                    futures = {
+                        key: executor.submit(_execute_job_in_worker,
+                                             pending[key],
+                                             self.check_invariants)
+                        for key in keys
+                    }
+                    return {key: futures[key].result() for key in keys}
+            finally:
+                queue.put(None)
+                drain.join()
+
+
+#: Per-worker-process telemetry queue, set by the pool initializer.
+_WORKER_TELEMETRY_QUEUE = None
+_WORKER_HEARTBEAT_EVERY = None
+
+
+def _init_worker_telemetry(queue, heartbeat_every) -> None:
+    """ProcessPoolExecutor initializer: stash the event queue."""
+    global _WORKER_TELEMETRY_QUEUE, _WORKER_HEARTBEAT_EVERY
+    _WORKER_TELEMETRY_QUEUE = queue
+    _WORKER_HEARTBEAT_EVERY = heartbeat_every
+
+
+def _execute_job_in_worker(job: SimJob, check_invariants: bool) -> RunStats:
+    """Worker-process entry point: execute_job + telemetry, if wired."""
+    telemetry = None
+    if _WORKER_TELEMETRY_QUEUE is not None:
+        from repro.obs.fleet import DEFAULT_HEARTBEAT, FleetTelemetry
+
+        telemetry = FleetTelemetry(
+            _WORKER_TELEMETRY_QUEUE.put,
+            heartbeat_every=_WORKER_HEARTBEAT_EVERY or DEFAULT_HEARTBEAT)
+    return execute_job(job, check_invariants=check_invariants,
+                       telemetry=telemetry)
 
 
 def run_jobs(

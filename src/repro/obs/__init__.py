@@ -19,7 +19,13 @@ provides the machinery to *watch* a run without perturbing it:
   handlers, and directory transitions;
 - :mod:`repro.obs.attribution` — exact critical-path cycle accounting:
   every stall cycle lands in one named bucket, and the bucket totals
-  sum cycle-for-cycle to the run's stall count.
+  sum cycle-for-cycle to the run's stall count;
+- :mod:`repro.obs.fleet` — cross-process telemetry for the experiment
+  runner: workers stream job lifecycle events over a multiprocessing
+  queue, the parent aggregates a live sweep status, appends a
+  ``repro-fleetlog/1`` JSONL run log, and snapshots Prometheus text —
+  all side-channel only (results and cache keys are byte-identical
+  with telemetry on or off).
 
 Observers subscribe to a :class:`~repro.obs.events.EventBus` obtained
 from :meth:`Machine.observe() <repro.machine.machine.Machine.observe>`;
@@ -53,6 +59,19 @@ from repro.obs.attribution import (
     attribute_stall,
     attribution_dict,
 )
+from repro.obs.fleet import (
+    FLEETLOG_SCHEMA,
+    FleetMonitor,
+    FleetTelemetry,
+    ProgressPrinter,
+    RunProgress,
+    format_fleet_summary,
+    load_eta_hints,
+    prometheus_snapshot,
+    read_fleet_log,
+    summarize_fleet_log,
+    validate_event,
+)
 
 __all__ = [
     "EventBus",
@@ -79,4 +98,15 @@ __all__ = [
     "AttributionReport",
     "attribute_stall",
     "attribution_dict",
+    "FLEETLOG_SCHEMA",
+    "FleetMonitor",
+    "FleetTelemetry",
+    "ProgressPrinter",
+    "RunProgress",
+    "format_fleet_summary",
+    "load_eta_hints",
+    "prometheus_snapshot",
+    "read_fleet_log",
+    "summarize_fleet_log",
+    "validate_event",
 ]

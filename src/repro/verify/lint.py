@@ -13,8 +13,9 @@ code      hazard
 RND01     iteration over a set (set literal/constructor/comprehension,
           or a local variable bound to one) without ``sorted``
 RND02     wall-clock or RNG in library code (``time.time``,
-          ``datetime.now``/``utcnow``/``today``, the ``random``
-          module)
+          ``time.perf_counter``/``monotonic`` and their ``_ns``
+          twins, ``datetime.now``/``utcnow``/``today``, the
+          ``random`` module)
 RND03     directory listing in filesystem order (``os.listdir`` /
           ``os.scandir`` not wrapped in ``sorted``; ``os.walk`` loops
           that neither sort ``dirnames`` in place nor sort
@@ -64,6 +65,10 @@ _RANDOM_NAMES = {
 _CLOCK_ATTRS = {
     ("time", "time"),
     ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),

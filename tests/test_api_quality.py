@@ -64,6 +64,7 @@ MODULES = [
     "repro.obs.attribution",
     "repro.obs.events",
     "repro.obs.export",
+    "repro.obs.fleet",
     "repro.obs.hist",
     "repro.obs.spans",
     "repro.obs.timeseries",

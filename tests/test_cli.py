@@ -329,6 +329,93 @@ class TestDiff:
         assert doc["ok"]
 
 
+class TestRunProgressFlag:
+    def test_progress_does_not_change_output(self, capsys):
+        code_plain, out_plain = run_cli(capsys, "run", "--app", "aq",
+                                        "--nodes", "16")
+        code_live, out_live = run_cli(capsys, "run", "--app", "aq",
+                                      "--nodes", "16", "--progress")
+        assert code_plain == code_live == 0
+        assert out_plain == out_live  # progress goes to stderr only
+
+
+class TestStatus:
+    def _write_log(self, tmp_path):
+        from repro.obs.fleet import FLEETLOG_SCHEMA, FleetLogWriter, event
+
+        path = tmp_path / "fleet.jsonl"
+        writer = FleetLogWriter(str(path))
+        writer.write(event("sweep_started", jobs=2, seq=0))
+        writer.write(event("plan_enqueued", planned=2, unique=2,
+                           pending=1, seq=1))
+        writer.write(event("cache_hit", key="a", seq=2))
+        writer.write(event("job_started", key="b", pid=7, seq=3))
+        writer.write(event("job_finished", key="b", pid=7, wall_s=0.5,
+                           run_cycles=1000, sim_cycles_per_sec=2000.0,
+                           seq=4))
+        writer.write(event("sweep_finished", wall_s=0.5,
+                           jobs_executed=1, seq=5))
+        writer.close()
+        return path
+
+    def test_summarizes_log(self, capsys, tmp_path):
+        log = self._write_log(tmp_path)
+        code, out = run_cli(capsys, "status", str(log))
+        assert code == 0
+        assert "jobs: 1 completed" in out
+        assert "cache: 1 hits" in out
+        assert "repro-fleetlog/1" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        log = self._write_log(tmp_path)
+        code, out = run_cli(capsys, "status", str(log), "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["completed"] == 1
+        assert doc["cache"]["hits"] == 1
+
+    def test_prom_output(self, capsys, tmp_path):
+        log = self._write_log(tmp_path)
+        code, out = run_cli(capsys, "status", str(log), "--prom")
+        assert code == 0
+        assert "repro_fleet_jobs_completed_total 1" in out
+
+    def test_bad_log_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code, out = run_cli(capsys, "status", str(bad))
+        assert code == 2
+
+    def test_missing_log_exits_2(self, capsys, tmp_path):
+        code, _out = run_cli(capsys, "status",
+                             str(tmp_path / "missing.jsonl"))
+        assert code == 2
+
+
+class TestExperimentsFleetTelemetry:
+    def test_fleet_log_and_prom_snapshot(self, capsys, tmp_path):
+        from repro.obs.fleet import read_fleet_log
+
+        out_md = tmp_path / "EXPERIMENTS.md"
+        log = tmp_path / "sweep.jsonl"
+        prom = tmp_path / "sweep.prom"
+        code, out = run_cli(capsys, "experiments", "--quick",
+                            "--no-cache",
+                            "--fleet-log", str(log),
+                            "--prom-out", str(prom),
+                            "--out", str(out_md))
+        assert code == 0
+        events = read_fleet_log(str(log))  # validates every event
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "sweep_finished"
+        assert "section_started" in kinds
+        assert kinds.count("job_started") == kinds.count("job_finished")
+        assert "repro_fleet_jobs_completed_total" in prom.read_text()
+        # end-of-run summary reports cache counters (satellite: cache
+        # stats surface in the summary line)
+        assert "cache off" in out
+
+
 class TestExperimentsAttribution:
     def test_flag_persists_artifacts_through_the_cache(self, capsys,
                                                        tmp_path):

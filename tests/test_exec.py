@@ -167,7 +167,20 @@ class TestResolveJobs:
         assert resolve_jobs("auto") >= 1
         assert resolve_jobs("AUTO") >= 1
 
-    @pytest.mark.parametrize("bad", [0, -1, "0", "junk", "1.5", ""])
+    def test_auto_on_one_cpu_host(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_jobs("auto") == 1
+
+    def test_auto_when_cpu_count_unknown(self, monkeypatch):
+        # os.cpu_count() may return None; "auto" must still be sane
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs("auto") == 1
+
+    def test_auto_uses_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_jobs(" Auto ") == 8
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "-3", "junk", "1.5", ""])
     def test_rejects_junk(self, bad):
         with pytest.raises(ValueError):
             resolve_jobs(bad)

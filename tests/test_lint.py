@@ -92,6 +92,21 @@ def test_random_module_flagged():
     """) == ["RND02"]
 
 
+def test_perf_counter_flagged():
+    assert codes("""
+        import time
+        t0 = time.perf_counter()
+    """) == ["RND02"]
+
+
+def test_monotonic_flagged():
+    assert codes("""
+        import time
+        now = time.monotonic()
+        later = time.monotonic_ns()
+    """) == ["RND02"]
+
+
 # ----------------------------------------------------------------------
 # RND03 — filesystem ordering
 # ----------------------------------------------------------------------
@@ -202,3 +217,28 @@ def test_installed_package_is_lint_clean():
     report = run_lint()
     assert report.clean, report.render_text()
     assert report.stats["lint.files"] > 50
+
+
+def test_fleet_suppressions_are_load_bearing():
+    """Mutation check against the shipped fleet-telemetry module.
+
+    Every ``allow-nondet`` in ``repro.obs.fleet`` must sit on a line
+    the linter would otherwise flag.  Replace one real wall-clock call
+    with a constant — leaving its suppression comment in place — and
+    the linter must surface the now-stale suppression as RND00 rather
+    than let it silently mask a future regression.
+    """
+    import repro.obs.fleet as fleet
+
+    path = fleet.__file__
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+
+    # the module as shipped: suppressed wall clocks, zero findings
+    assert [f.code for f in lint_source(source, path)] == []
+    assert "time.perf_counter()" in source
+
+    mutated = source.replace("time.perf_counter()", "0.0", 1)
+    findings = lint_source(mutated, path)
+    assert "RND00" in {f.code for f in findings}
+    assert any("matches no finding" in f.message for f in findings)

@@ -122,28 +122,37 @@ def _plans(preset: str) -> dict:
             for name, planner in PLANNERS.items()}
 
 
-def _time_sweep(plans: dict, runner: JobRunner) -> dict:
+def _time_sweep(plans: dict, runner: JobRunner) -> "tuple[dict, dict]":
+    """Wall seconds and summed simulated cycles per driver.
+
+    Cycles come from the result map (every planned job, executed or
+    replayed), so ``cycles / seconds`` is the driver's effective
+    sim-cycle throughput under this runner — the same quantity the
+    fleet monitor reports live as ``sim_cycles_per_sec``.
+    """
     timings = {}
+    cycles = {}
     for name, plan in plans.items():
         t0 = time.perf_counter()
-        runner.run(plan)
+        results = runner.run(plan)
         timings[name] = round(time.perf_counter() - t0, 3)
-    return timings
+        cycles[name] = sum(stats.run_cycles for stats in results.values())
+    return timings, cycles
 
 
 def bench_drivers(preset: str) -> dict:
     """Serial vs parallel vs warm-cache wall clock per driver."""
     plans = _plans(preset)
 
-    serial = _time_sweep(plans, JobRunner(jobs=1))
+    serial, sim_cycles = _time_sweep(plans, JobRunner(jobs=1))
 
     parallel_runner = JobRunner(jobs="auto")
-    parallel = _time_sweep(plans, parallel_runner)
+    parallel, _ = _time_sweep(plans, parallel_runner)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         cache = ResultCache(tmp)
         _time_sweep(plans, JobRunner(jobs=1, cache=cache))  # populate
-        warm = _time_sweep(plans, JobRunner(jobs=1, cache=cache))
+        warm, _ = _time_sweep(plans, JobRunner(jobs=1, cache=cache))
 
     serial_total = round(sum(serial.values()), 3)
     parallel_total = round(sum(parallel.values()), 3)
@@ -153,7 +162,11 @@ def bench_drivers(preset: str) -> dict:
         "parallel_workers": parallel_runner.n_workers,
         "per_driver": {
             name: {"serial_s": serial[name], "parallel_s": parallel[name],
-                   "warm_cache_s": warm[name]}
+                   "warm_cache_s": warm[name],
+                   "sim_cycles": sim_cycles[name],
+                   "sim_cycles_per_sec": round(
+                       sim_cycles[name] / serial[name], 1)
+                   if serial[name] else None}
             for name in plans
         },
         "totals": {
