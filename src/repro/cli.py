@@ -42,7 +42,7 @@ from repro.core.protocol import InvariantChecker
 from repro.exec import DEFAULT_CACHE_DIR, JobRunner, ResultCache
 from repro.core.spec import PAPER_SPECTRUM, spec_of
 from repro.machine.machine import Machine
-from repro.machine.params import MachineParams
+from repro.machine.params import DISPATCH_MODES, MachineParams
 from repro.obs import (
     AttributionReport,
     FleetMonitor,
@@ -99,6 +99,23 @@ def _duration(text: str) -> float:
     return value
 
 
+def _add_dispatch_arg(parser: argparse.ArgumentParser) -> None:
+    """``--dispatch``: protocol-engine execution mode.
+
+    Cycle-identical either way (gated by the equivalence fixture and
+    the report ``cmp`` in CI); ``interpreted`` is the readable
+    fallback when the table compiler is suspected.  Default ``None``
+    defers to the ``REPRO_DISPATCH`` environment variable, then to
+    compiled.
+    """
+    parser.add_argument(
+        "--dispatch", choices=DISPATCH_MODES, default=None,
+        help="protocol dispatch mode: exec-compiled per-table code "
+             "(default) or the interpreted reference engine; both "
+             "produce byte-identical results",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run under the continuous protocol invariant "
                           "checker; exit 1 on any violation")
+    _add_dispatch_arg(run)
     run.add_argument("--progress", action="store_true",
                      help="live progress line on stderr (sim-cycle "
                           "heartbeat; never changes results)")
@@ -152,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="parallel")
     profile.add_argument("--sample-every", type=_positive_int, default=10_000,
                          metavar="CYCLES")
+    _add_dispatch_arg(profile)
 
     sweep = sub.add_parser("sweep",
                            help="run one app across the protocol spectrum")
@@ -206,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="append every telemetry event to FILE "
                                   "as repro-fleetlog/1 JSONL (summarize "
                                   "later with 'repro status FILE')")
+    _add_dispatch_arg(experiments)
     experiments.add_argument("--prom-out", metavar="FILE", default=None,
                              help="write a Prometheus text-format "
                                   "snapshot of the final sweep status")
@@ -238,6 +258,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="TXN",
                          help="also print the span tree of transaction "
                               "TXN (stderr)")
+    _add_dispatch_arg(analyze)
 
     diff = sub.add_parser(
         "diff",
@@ -351,7 +372,8 @@ def _machine_from(args: argparse.Namespace) -> Machine:
     )
     return Machine(params, protocol=args.protocol,
                    software=args.software,
-                   invalidation_mode=args.invalidation_mode)
+                   invalidation_mode=args.invalidation_mode,
+                   dispatch=args.dispatch)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -655,6 +677,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             check_invariants=args.check_invariants,
             attribution=args.attribution,
             telemetry=monitor,
+            dispatch=args.dispatch,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,298 @@
+"""Table-to-code compiler for the home protocol engine.
+
+The interpreted :class:`~repro.core.protocol.engine.HomeProtocolEngine`
+walks ``(guard, action, row)`` tuples per message.  This module removes
+that interpretive overhead: at machine construction it generates one
+specialized straight-line dispatch function per protocol table — guard
+chains flattened into ``if`` cascades per (event, directory-state)
+pair, backend methods pre-bound into the closure namespace, dead
+policies and rows annotated ``unreachable`` elided — and compiles it
+with :func:`exec`.  The ``TransitionApplied`` observability probe is
+split into two whole-function variants, so the detached-observer path
+pays zero per-message probe checks.
+
+Determinism contract
+--------------------
+The generated source is a pure function of the table: events are
+emitted in policy declaration order, states in :class:`DirState`
+declaration order, rows in table order, and bound-method names sorted.
+Nothing identity-dependent (``id()``, ``repr()`` of live objects,
+memory addresses) ever reaches the text, so the same table always
+yields byte-identical source — cache keys and the determinism linter
+stay honest.  Every generated module starts with the
+``# repro: generated-by(compile)`` header; the linter lints the
+generated text through :func:`generated_sources` instead of flagging
+the single ``exec`` call below.
+
+Equivalence contract
+--------------------
+Compiled dispatch must be *cycle-for-cycle identical* to the
+interpreter (``tests/test_protocol_equivalence.py`` runs the 17-config
+fixture in both modes; CI additionally ``cmp``'s full experiment
+reports).  The one deliberate divergence is unobservable: rows marked
+``unreachable`` — defensive rows the model checker proves can never
+fire — are elided, so in a (provably impossible) state where one would
+have fired, the compiled engine reports ``no_rule`` instead of running
+the defensive action.
+"""
+
+from __future__ import annotations
+
+import linecache
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.types import DirState
+from repro.core.protocol.table import ProtocolTable, Transition
+from repro.obs.events import TransitionApplied
+
+__all__ = [
+    "GENERATED_HEADER",
+    "generate_source",
+    "generated_filename",
+    "generated_sources",
+    "bind_table",
+]
+
+#: First line of every generated module.  The determinism linter keys
+#: off this marker: generated text must carry it, and text registered
+#: with it is linted like any hand-written source file.
+GENERATED_HEADER = "# repro: generated-by(compile)"
+
+#: filename -> source text for every table compiled in this process,
+#: registered under a deterministic pseudo-filename so tracebacks
+#: (via linecache) and the determinism linter can see the code.
+_GENERATED_SOURCES: Dict[str, str] = {}
+
+#: source text -> compiled ``bind`` function (module-level cache: the
+#: source is identical for every node of a machine, so each table is
+#: generated and compiled once per process, then bound per engine).
+_BIND_CACHE: Dict[str, Callable] = {}
+
+_STATES = tuple(DirState)
+
+
+def generated_filename(table: ProtocolTable) -> str:
+    """Deterministic pseudo-filename for ``table``'s generated module."""
+    return f"<repro.core.protocol.compile:{table.name}>"
+
+
+def generated_sources() -> Dict[str, str]:
+    """Snapshot of every generated module compiled so far.
+
+    The determinism linter iterates this to lint generated text exactly
+    like checked-in source files.
+    """
+    return dict(_GENERATED_SOURCES)
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+
+def _live_rows(table: ProtocolTable, event: str) -> List[Transition]:
+    """Rows for ``event`` in table order, minus ``unreachable`` rows."""
+    return [row for row in table.rows_for(event) if not row.unreachable]
+
+
+def _chain_for(rows: List[Transition], state: DirState) -> List[Transition]:
+    """The rows applicable in ``state`` (wildcards merged, table order)."""
+    return [r for r in rows if r.states is None or state in r.states]
+
+
+def _emit_chain(
+    out: List[str],
+    indent: str,
+    event: str,
+    chain: List[Transition],
+    strict: bool,
+    probe: bool,
+    before_expr: Optional[str],
+    busy_expr: str,
+    after_expr: str,
+) -> None:
+    """Emit the guard cascade for one (event, state) pair.
+
+    ``before_expr``/``after_expr``/``busy_expr`` are Python expressions
+    (or literals) for the probe payload; the fast variant ignores them.
+    An unguarded row terminates the cascade — later rows are dead for
+    this state and are not emitted.
+    """
+    if probe and chain:
+        out.append(f"{indent}_busy = {busy_expr}")
+    closed = False
+    for row in chain:
+        if row.guard is None:
+            body_indent = indent
+        else:
+            out.append(f"{indent}if m_{row.guard}(entry, src, block):")
+            body_indent = indent + "    "
+        out.append(f"{body_indent}m_{row.action}(entry, src, block)")
+        if probe:
+            out.append(
+                f"{body_indent}emit(TransitionApplied("
+                f"node=node_id, at=sim.now, event={event!r}, src=src, "
+                f"block=block, before={before_expr}, after={after_expr}, "
+                f"rule={row.action!r}, next_label={row.next_state!r}, "
+                f"busy=_busy, txn=txn))"
+            )
+        out.append(f"{body_indent}return")
+        if row.guard is None:
+            closed = True
+            break
+    if not closed:
+        if strict:
+            out.append(f"{indent}no_rule({event!r}, entry, src, block)")
+        out.append(f"{indent}return")
+
+
+def _emit_event(
+    out: List[str],
+    table: ProtocolTable,
+    event: str,
+    first: bool,
+    probe: bool,
+) -> None:
+    policy = table.policies[event]
+    rows = _live_rows(table, event)
+    create = policy.lookup == "create"
+    strict = policy.fallback == "error"
+
+    keyword = "if" if first else "elif"
+    out.append(f"        {keyword} kind == {event!r}:")
+    if create:
+        out.append("            entry = entry_for(block)")
+    else:
+        out.append("            entry = entries_get(block)")
+        out.append("            if entry is None:")
+        _emit_chain(
+            out, "                ", event,
+            [r for r in rows if r.states is None], strict, probe,
+            before_expr="None", busy_expr="False", after_expr="None",
+        )
+    out.append("            state = entry.state")
+
+    specific = [s for s in _STATES
+                if any(r.states is not None and s in r.states for r in rows)]
+    after = "entry.state.value"
+    first_state = True
+    for state in specific:
+        keyword = "if" if first_state else "elif"
+        first_state = False
+        out.append(f"            {keyword} state is S_{state.name}:")
+        busy = ("True" if state.transient
+                else 'getattr(entry, "sw_pending", False)')
+        _emit_chain(
+            out, "                ", event, _chain_for(rows, state),
+            strict, probe,
+            before_expr=repr(state.value), busy_expr=busy, after_expr=after,
+        )
+    # Every state without a row of its own shares the wildcard cascade.
+    wildcard = [r for r in rows if r.states is None]
+    indent = "                " if specific else "            "
+    if specific:
+        out.append("            else:")
+    _emit_chain(
+        out, indent, event, wildcard, strict, probe,
+        before_expr="state.value",
+        busy_expr='state.transient or getattr(entry, "sw_pending", False)',
+        after_expr=after,
+    )
+
+
+def _emit_handler(out: List[str], table: ProtocolTable, probe: bool) -> None:
+    name = "handle_probe" if probe else "handle_fast"
+    out.append(f"    def {name}(message):")
+    if probe:
+        # An attached bus without "transition" subscribers takes the
+        # fast cascade — same per-message semantics as the interpreter.
+        out.append("        obs = machine.obs")
+        out.append("        if obs is None or not obs.on_transition:")
+        out.append("            handle_fast(message)")
+        out.append("            return")
+        out.append("        emit = obs.transition")
+    out.append("        kind = message.kind")
+    out.append("        src = message.src")
+    out.append("        payload = message.payload")
+    out.append("        block = payload.block")
+    if probe:
+        out.append("        txn = payload.txn")
+    for index, event in enumerate(table.events()):
+        _emit_event(out, table, event, index == 0, probe)
+    out.append("        else:")
+    out.append("            unknown_event(kind)")
+    out.append("")
+
+
+def generate_source(table: ProtocolTable) -> str:
+    """Deterministic Python source of the compiled engine for ``table``.
+
+    The module defines ``bind(backend, node, TransitionApplied)`` which
+    pre-binds the backend's guard/action methods and returns the
+    ``(handle_fast, handle_probe)`` closure pair.
+    """
+    methods = sorted(
+        {row.guard for event in table.events()
+         for row in _live_rows(table, event) if row.guard is not None}
+        | {row.action for event in table.events()
+           for row in _live_rows(table, event)}
+    )
+    out: List[str] = [
+        GENERATED_HEADER,
+        f"# compiled dispatch for protocol table {table.name!r}",
+    ]
+    for state in _STATES:
+        out.append(f"S_{state.name} = DirState.{state.name}")
+    out.append("")
+    out.append("")
+    out.append("def bind(backend, node, TransitionApplied):")
+    out.append("    entry_for = backend.entry_for")
+    out.append("    entries_get = backend.entries.get")
+    out.append("    no_rule = backend.no_rule")
+    out.append("    unknown_event = backend.unknown_event")
+    for name in methods:
+        out.append(f"    m_{name} = backend.{name}")
+    out.append("    machine = node.machine")
+    out.append("    sim = machine.sim")
+    out.append("    node_id = node.id")
+    out.append("")
+    _emit_handler(out, table, probe=False)
+    _emit_handler(out, table, probe=True)
+    out.append("    return handle_fast, handle_probe")
+    out.append("")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Compilation and binding
+# ----------------------------------------------------------------------
+
+def _bind_function(table: ProtocolTable) -> Callable:
+    source = generate_source(table)
+    bind = _BIND_CACHE.get(source)
+    if bind is not None:
+        return bind
+    filename = generated_filename(table)
+    _GENERATED_SOURCES[filename] = source
+    # Register with linecache so tracebacks through generated frames
+    # show real source lines.
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename,
+    )
+    namespace: Dict[str, object] = {"DirState": DirState}
+    code = compile(source, filename, "exec")
+    exec(code, namespace)  # repro: allow-nondet(source is a pure function of the table and linted via the generated_sources registry)  # noqa: E501
+    bind = namespace["bind"]  # type: ignore[assignment]
+    _BIND_CACHE[source] = bind
+    return bind
+
+
+def bind_table(
+    table: ProtocolTable, backend, node
+) -> Tuple[Callable, Callable]:
+    """Compile ``table`` (cached) and bind it to one engine's backend.
+
+    Returns ``(handle_fast, handle_probe)``: the probe-off and probe-on
+    message handlers, each a specialized closure over the backend's
+    bound methods.
+    """
+    return _bind_function(table)(backend, node, TransitionApplied)

@@ -16,11 +16,23 @@ directory states and the declared ``next_state`` label — the raw
 material of the continuous invariant checker
 (:class:`~repro.core.protocol.invariants.InvariantChecker`).  When
 detached the probe costs one attribute load and a ``None`` check.
+
+Two dispatch modes execute the same table (selected by
+:func:`~repro.machine.params.resolve_dispatch`; cycle-identical by
+construction and by the equivalence gate):
+
+- ``compiled`` (default): :mod:`repro.core.protocol.compile` generates
+  specialized straight-line dispatch code for the table and the
+  engine's :meth:`~HomeProtocolEngine.handle` is shadowed by the
+  compiled closure (probe-off variant until a bus attaches);
+- ``interpreted``: the original tuple-walking :meth:`handle` below —
+  the readable reference semantics and the fallback when the compiler
+  is suspected.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.core.protocol.backends import (
     DirectoryBackend,
@@ -28,6 +40,7 @@ from repro.core.protocol.backends import (
     LimitedPointerBackend,
     SoftwareOnlyBackend,
 )
+from repro.core.protocol.compile import bind_table
 from repro.core.protocol.table import ProtocolTable
 from repro.core.spec import ProtocolSpec
 from repro.common.errors import ProtocolStateError
@@ -55,7 +68,8 @@ class HomeProtocolEngine:
 
     def __init__(self, node: "Node", spec: ProtocolSpec,
                  backend: DirectoryBackend,
-                 table: Optional[ProtocolTable] = None) -> None:
+                 table: Optional[ProtocolTable] = None,
+                 dispatch: Optional[str] = None) -> None:
         self.node = node
         self.spec = spec
         self.backend = backend
@@ -88,6 +102,27 @@ class HomeProtocolEngine:
                 when_missing,
             )
 
+        # Imported here, not at module level: repro.machine imports the
+        # protocol package back (node -> engine), so a top-level import
+        # would be circular.
+        from repro.machine.params import resolve_dispatch
+
+        machine = getattr(node, "machine", None)
+        if dispatch is None:
+            dispatch = getattr(machine, "dispatch", None)
+        self.dispatch = resolve_dispatch(dispatch)
+        self._handle_probe: Optional[Callable] = None
+        if self.dispatch == "compiled":
+            fast, probe = bind_table(self.table, backend, node)
+            self._handle_probe = probe
+            # Shadow the class method with the specialized closure; the
+            # probe-off variant pays zero per-message observer checks,
+            # so it is only installed while no bus is attached.
+            # getattr: during Machine.__init__ the nodes (and their
+            # engines) are built before the ``obs`` attribute exists.
+            attached = getattr(machine, "obs", None) is not None
+            self.handle = probe if attached else fast  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     # Compatibility surface (tests and the machine address the home
     # controller through these)
@@ -106,6 +141,18 @@ class HomeProtocolEngine:
     def entry_for(self, block: int):
         """The backend's directory entry for ``block``."""
         return self.backend.entry_for(block)
+
+    def obs_attached(self) -> None:
+        """Switch compiled dispatch to the probe-on handler variant.
+
+        Called by ``Machine.observe()`` when the event bus is created.
+        The probe variant still checks the ``transition`` channel for
+        subscribers per message (matching the interpreter), so it is
+        always safe; this swap only exists so the *detached* fast
+        variant can omit that check entirely.  No-op when interpreting.
+        """
+        if self._handle_probe is not None:
+            self.handle = self._handle_probe  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Dispatch

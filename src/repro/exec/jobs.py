@@ -151,7 +151,8 @@ def job_key(job: SimJob) -> str:
 # ----------------------------------------------------------------------
 
 def execute_job(job: SimJob, check_invariants: bool = False,
-                telemetry: Optional["FleetTelemetry"] = None) -> RunStats:
+                telemetry: Optional["FleetTelemetry"] = None,
+                dispatch: Optional[str] = None) -> RunStats:
     """Run one job to completion on a fresh machine.
 
     Module-level (not a closure) so worker processes can unpickle and
@@ -161,8 +162,11 @@ def execute_job(job: SimJob, check_invariants: bool = False,
     identical either way) and any violation raises
     :class:`~repro.core.protocol.invariants.InvariantViolation`.
 
-    ``check_invariants`` and ``telemetry`` are execution-mode knobs,
-    not part of the job spec, so they never change a job's cache key.
+    ``check_invariants``, ``telemetry``, and ``dispatch`` are
+    execution-mode knobs, not part of the job spec, so they never
+    change a job's cache key (``dispatch`` selects the protocol
+    engine's execution strategy — compiled or interpreted — which is
+    cycle-identical by the equivalence gate).
     A :class:`~repro.obs.fleet.FleetTelemetry` streams job lifecycle
     events (started / sim-cycle heartbeats / finished with wall time
     and peak RSS) to the parent; like every observer it reads state and
@@ -175,6 +179,7 @@ def execute_job(job: SimJob, check_invariants: bool = False,
         protocol=job.protocol,
         software=job.software,
         track_worker_sets=job.track_worker_sets,
+        dispatch=dispatch,
     )
     checker = None
     if check_invariants:

@@ -110,10 +110,16 @@ class JobRunner:
                  check_invariants: bool = False,
                  attribution: bool = False,
                  telemetry: Optional["FleetMonitor"] = None,
-                 heartbeat_every: Optional[int] = None) -> None:
+                 heartbeat_every: Optional[int] = None,
+                 dispatch: Optional[str] = None) -> None:
         self.n_workers = resolve_jobs(jobs)
         self.cache = cache
         self.check_invariants = check_invariants
+        #: protocol-engine dispatch mode for executed jobs ("compiled"
+        #: or "interpreted"; None = resolve from env/default).  An
+        #: execution knob like check_invariants: cycle-identical, so it
+        #: never enters cache keys and cached results stay valid.
+        self.dispatch = dispatch
         self.attribution = attribution
         self.telemetry = telemetry
         if heartbeat_every is None:
@@ -216,7 +222,8 @@ class JobRunner:
                 heartbeat_every=self.heartbeat_every)
         return {
             key: execute_job(job, check_invariants=self.check_invariants,
-                             telemetry=worker_telemetry)
+                             telemetry=worker_telemetry,
+                             dispatch=self.dispatch)
             for key, job in pending.items()
         }
 
@@ -232,7 +239,8 @@ class JobRunner:
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 futures = {
                     key: executor.submit(execute_job, pending[key],
-                                         self.check_invariants)
+                                         self.check_invariants,
+                                         None, self.dispatch)
                     for key in keys
                 }
                 # Collect in plan order; completion order is irrelevant
@@ -271,7 +279,8 @@ class JobRunner:
                     futures = {
                         key: executor.submit(_execute_job_in_worker,
                                              pending[key],
-                                             self.check_invariants)
+                                             self.check_invariants,
+                                             self.dispatch)
                         for key in keys
                     }
                     return {key: futures[key].result() for key in keys}
@@ -292,7 +301,8 @@ def _init_worker_telemetry(queue, heartbeat_every) -> None:
     _WORKER_HEARTBEAT_EVERY = heartbeat_every
 
 
-def _execute_job_in_worker(job: SimJob, check_invariants: bool) -> RunStats:
+def _execute_job_in_worker(job: SimJob, check_invariants: bool,
+                           dispatch: Optional[str] = None) -> RunStats:
     """Worker-process entry point: execute_job + telemetry, if wired."""
     telemetry = None
     if _WORKER_TELEMETRY_QUEUE is not None:
@@ -302,7 +312,7 @@ def _execute_job_in_worker(job: SimJob, check_invariants: bool) -> RunStats:
             _WORKER_TELEMETRY_QUEUE.put,
             heartbeat_every=_WORKER_HEARTBEAT_EVERY or DEFAULT_HEARTBEAT)
     return execute_job(job, check_invariants=check_invariants,
-                       telemetry=telemetry)
+                       telemetry=telemetry, dispatch=dispatch)
 
 
 def run_jobs(

@@ -53,6 +53,16 @@ class Node:
             self, spec, self.interface
         )
         self.processor.watchdog_enabled = machine.watchdog_enabled
+        #: flit size per message kind, precomputed from the (frozen)
+        #: machine params so send_protocol skips the per-send
+        #: message_size call.
+        params = machine.params
+        self._msg_flits = {
+            kind: message_size(kind, params.header_flits,
+                               params.data_flits)
+            for kind in sorted(_CACHE_SIDE | _HOME_SIDE | _BARRIER
+                               | LOCK_KINDS | REDUCE_KINDS)
+        }
         #: Transaction id of the coherence message currently being
         #: dispatched (observability metadata; see `repro.obs.spans`).
         #: Set around cache-/home-side dispatch so any message sent
@@ -75,8 +85,12 @@ class Node:
         synchronous response path (grants, invalidations, acks, busy
         replies, fetches) without the protocol code having to thread it.
         """
-        params = self.machine.params
-        size = message_size(kind, params.header_flits, params.data_flits)
+        try:
+            size = self._msg_flits[kind]
+        except KeyError:  # a kind outside the precomputed vocabulary
+            params = self.machine.params
+            size = message_size(kind, params.header_flits,
+                                params.data_flits)
         self.stats.messages_sent[kind] += 1
         if txn is None:
             txn = self.current_txn

@@ -15,6 +15,7 @@ little, at these traffic levels — which supports NWO's simplification).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Tuple
 
 from repro.network.fabric import Fabric, Message
@@ -75,7 +76,7 @@ class DetailedFabric(Fabric):
 
         msg.delivered_at = deliver
         self.flits_carried += msg.size_flits
-        self.sim.at(deliver, lambda m=msg: self._deliver(m))
+        self.sim.at(deliver, partial(self._deliver, msg))
         if self.obs is not None:
             self._notify(msg)
         return deliver

@@ -10,6 +10,7 @@ keeps the event count low (one event per delivery).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.network.topology import Mesh
@@ -64,6 +65,12 @@ class Fabric:
         self.sim = sim
         self.mesh = mesh
         self.hop_latency = hop_latency
+        #: transit cycles per (src, dst), flat-indexed ``src * n + dst``.
+        #: Precomputed once: hop counts never change, and recomputing
+        #: mesh coordinates per message was a measurable share of the
+        #: send path in profiles.
+        self._n_nodes = mesh.n_nodes
+        self._transit = [h * hop_latency for h in mesh.hop_table()]
         self._tx_free = [0] * mesh.n_nodes
         self._rx_free = [0] * mesh.n_nodes
         #: last delivery time per (src, dst) pair, to preserve FIFO order
@@ -88,31 +95,43 @@ class Fabric:
         """
         now = self.sim.now + extra_delay
         msg.sent_at = now
+        src = msg.src
+        dst = msg.dst
+        size = msg.size_flits
 
-        if msg.src == msg.dst:
+        if src == dst:
             # Loopback (e.g. a node's own CMMU): charge no queue time.
             deliver = now + 1
         else:
-            tx_start = max(now, self._tx_free[msg.src])
-            tx_done = tx_start + msg.size_flits
-            self._tx_free[msg.src] = tx_done
-            transit = self.mesh.hops(msg.src, msg.dst) * self.hop_latency
-            arrival = tx_done + transit
-            rx_start = max(arrival, self._rx_free[msg.dst])
-            deliver = rx_start + msg.size_flits
-            self._rx_free[msg.dst] = deliver
+            tx_free = self._tx_free
+            tx_start = tx_free[src]
+            if now > tx_start:
+                tx_start = now
+            tx_done = tx_start + size
+            tx_free[src] = tx_done
+            arrival = tx_done + self._transit[src * self._n_nodes + dst]
+            rx_free = self._rx_free
+            rx_start = rx_free[dst]
+            if arrival > rx_start:
+                rx_start = arrival
+            deliver = rx_start + size
+            rx_free[dst] = deliver
 
         # Point-to-point FIFO: a later send on the same channel never
         # overtakes an earlier one (composition delays could otherwise
         # reorder, e.g. an invalidation passing the data grant it chases).
-        pair = (msg.src, msg.dst)
-        last = self._pair_last.get(pair, 0)
-        deliver = max(deliver, last)
-        self._pair_last[pair] = deliver
+        pair_last = self._pair_last
+        pair = (src, dst)
+        last = pair_last.get(pair, 0)
+        if last > deliver:
+            deliver = last
+        pair_last[pair] = deliver
 
         msg.delivered_at = deliver
-        self.flits_carried += msg.size_flits
-        self.sim.at(deliver, lambda m=msg: self._deliver(m))
+        self.flits_carried += size
+        # partial beats a lambda here: calling it enters _deliver
+        # directly from C instead of through an extra Python frame.
+        self.sim.at(deliver, partial(self._deliver, msg))
         if self.obs is not None:
             self._notify(msg)
         return deliver

@@ -43,6 +43,25 @@ class Mesh:
         dx, dy = self.coords(dst)
         return abs(sx - dx) + abs(sy - dy)
 
+    def hop_table(self) -> List[int]:
+        """Flat ``n_nodes * n_nodes`` table of hop counts.
+
+        ``table[src * n_nodes + dst]`` equals :meth:`hops`; the fabric
+        indexes this on every send instead of recomputing coordinates
+        (with their range checks) per message.
+        """
+        side = self.side
+        n = self.n_nodes
+        table = [0] * (n * n)
+        for src in range(n):
+            sx, sy = src % side, src // side
+            base = src * n
+            for dst in range(n):
+                table[base + dst] = (
+                    abs(sx - dst % side) + abs(sy - dst // side)
+                )
+        return table
+
     def route(self, src: int, dst: int) -> List[int]:
         """Nodes visited under X-then-Y dimension-ordered routing."""
         sx, sy = self.coords(src)

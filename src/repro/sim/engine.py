@@ -21,7 +21,12 @@ class Simulator:
     """Event-driven simulator with integer cycle time."""
 
     def __init__(self) -> None:
-        self._now = 0
+        #: Current simulation time in cycles.  A plain attribute, not a
+        #: property: it is read on every ``at()``/``after()`` call and by
+        #: every hot sender (fabric, processor), and a property getter
+        #: costs a Python call per read.  Treat it as read-only outside
+        #: this class.
+        self.now = 0
         self._seq = 0
         self._heap: List[Event] = []
         self._running = False
@@ -36,16 +41,17 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
 
-    @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
-
     def at(self, time: int, fn: Callable[[], None]) -> None:
-        """Schedule ``fn`` to run at absolute cycle ``time``."""
-        if time < self._now:
+        """Schedule ``fn`` to run at absolute cycle ``time``.
+
+        Validation precedes the sequence-number increment: a rejected
+        schedule must not burn a sequence number, or an exception caught
+        and retried by a caller would shift the tie-break order of every
+        later event and break bit-for-bit reproducibility.
+        """
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event in the past ({time} < {self._now})"
+                f"cannot schedule event in the past ({time} < {self.now})"
             )
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn))
@@ -54,7 +60,7 @@ class Simulator:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self._now + delay, fn)
+        self.at(self.now + delay, fn)
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""
@@ -105,30 +111,32 @@ class Simulator:
                 # No cycle limit, no event budget, no observer: the
                 # common case (every experiment driver run) takes the
                 # tight loop with no per-event limit or probe checks.
+                # Tuple unpacking beats indexing twice into the popped
+                # event; both callables come from locals.
                 while heap and not self._stopped:
-                    event = pop(heap)
-                    self._now = event[0]
-                    event[2]()
+                    time, _, fn = pop(heap)
+                    self.now = time
+                    fn()
             else:
                 processed = 0
                 probe = self.probe
                 while heap and not self._stopped:
                     time = heap[0][0]
                     if until is not None and time > until:
-                        self._now = until
+                        self.now = until
                         break
                     fn = pop(heap)[2]
-                    if probe is not None and time > self._now:
-                        self._now = time
+                    if probe is not None and time > self.now:
+                        self.now = time
                         probe(time)
                     else:
-                        self._now = time
+                        self.now = time
                     fn()
                     processed += 1
                     if max_events is not None and processed >= max_events:
                         raise SimulationError(
                             f"exceeded max_events={max_events} at cycle "
-                            f"{self._now}"
+                            f"{self.now}"
                         )
             # idle_check fires only when the heap actually drained; the
             # until-limit break above leaves events queued and skips it.
@@ -136,7 +144,7 @@ class Simulator:
                 idle_check()
         finally:
             self._running = False
-        return self._now
+        return self.now
 
     @property
     def pending_events(self) -> int:

@@ -34,6 +34,7 @@ MODULES = [
     "repro.core.messages",
     "repro.core.protocol",
     "repro.core.protocol.backends",
+    "repro.core.protocol.compile",
     "repro.core.protocol.engine",
     "repro.core.protocol.invariants",
     "repro.core.protocol.render",

@@ -46,6 +46,24 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.after(-1, lambda: None)
 
+    def test_rejected_schedule_burns_no_sequence_number(self):
+        """Validation precedes the tie-break counter: a past-time at()
+        that raises must not shift the FIFO order of later same-cycle
+        events (a caller catching and retrying would otherwise perturb
+        bit-for-bit reproducibility)."""
+        sim = Simulator()
+        order = []
+        sim.at(10, lambda: None)
+        sim.run()
+        seq_before = sim._seq
+        sim.at(20, lambda: order.append("a"))
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: order.append("never"))
+        assert sim._seq == seq_before + 1
+        sim.at(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
 
 class TestRunControl:
     def test_until_leaves_later_events_queued(self):
