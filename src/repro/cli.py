@@ -41,6 +41,7 @@ from repro.analysis.reportgen import SECTIONS, write_experiments_md
 from repro.core.protocol import InvariantChecker
 from repro.exec import DEFAULT_CACHE_DIR, JobRunner, ResultCache
 from repro.core.spec import PAPER_SPECTRUM, spec_of
+from repro.common.errors import ConfigurationError
 from repro.machine.machine import Machine
 from repro.machine.params import DISPATCH_MODES, MachineParams
 from repro.obs import (
@@ -77,6 +78,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text!r}")
+    return value
+
+
 _DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400}
 
 
@@ -97,6 +106,24 @@ def _duration(text: str) -> float:
         raise argparse.ArgumentTypeError(
             f"duration must be non-negative, got {text!r}")
     return value
+
+
+def _add_shards_arg(parser: argparse.ArgumentParser) -> None:
+    """``--shards``: parallel-in-time execution (repro.sim.shard).
+
+    Byte-identical to the serial engine (gated by the sharded
+    equivalence tests and the CI ``sharded-equivalence`` job), so like
+    ``--dispatch`` it is an execution knob: never part of
+    :class:`MachineParams` or experiment cache keys.  Default ``None``
+    defers to the ``REPRO_SHARDS`` environment variable, then to 1
+    (serial).
+    """
+    parser.add_argument(
+        "--shards", default=None, metavar="N|auto",
+        help="split the simulated nodes across N worker processes "
+             "advancing in conservative time windows ('auto' = one "
+             "per CPU); results are byte-identical to --shards 1",
+    )
 
 
 def _add_dispatch_arg(parser: argparse.ArgumentParser) -> None:
@@ -142,13 +169,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           "chrome://tracing) of the run")
     run.add_argument("--metrics-out", metavar="FILE",
                      help="write a deterministic JSON metrics dump")
-    run.add_argument("--sample-every", type=_positive_int, default=10_000,
+    run.add_argument("--sample-every", type=_nonneg_int, default=10_000,
                      metavar="CYCLES",
-                     help="interval of the metrics time-series sampler")
+                     help="interval of the metrics time-series sampler "
+                          "(0 disables it — required with --shards > 1, "
+                          "where no single process sees the clock tick)")
     run.add_argument("--check-invariants", action="store_true",
                      help="run under the continuous protocol invariant "
                           "checker; exit 1 on any violation")
     _add_dispatch_arg(run)
+    _add_shards_arg(run)
     run.add_argument("--progress", action="store_true",
                      help="live progress line on stderr (sim-cycle "
                           "heartbeat; never changes results)")
@@ -226,6 +256,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "as repro-fleetlog/1 JSONL (summarize "
                                   "later with 'repro status FILE')")
     _add_dispatch_arg(experiments)
+    _add_shards_arg(experiments)
     experiments.add_argument("--prom-out", metavar="FILE", default=None,
                              help="write a Prometheus text-format "
                                   "snapshot of the final sweep status")
@@ -259,6 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also print the span tree of transaction "
                               "TXN (stderr)")
     _add_dispatch_arg(analyze)
+    _add_shards_arg(analyze)
 
     diff = sub.add_parser(
         "diff",
@@ -373,25 +405,47 @@ def _machine_from(args: argparse.Namespace) -> Machine:
     return Machine(params, protocol=args.protocol,
                    software=args.software,
                    invalidation_mode=args.invalidation_mode,
-                   dispatch=args.dispatch)
+                   dispatch=args.dispatch,
+                   shards=getattr(args, "shards", None))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    machine = _machine_from(args)
+    try:
+        machine = _machine_from(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     collector = sampler = recorder = checker = progress = None
     if args.trace_out:
         collector = TraceCollector.attach(machine)
     if args.metrics_out:
-        sampler = IntervalSampler.attach(machine, every=args.sample_every)
+        # The time-series sampler rides the global clock (on_advance),
+        # which no single process sees under --shards; every other
+        # observer below works from replayable per-event channels.
+        if args.sample_every:
+            sampler = IntervalSampler.attach(machine,
+                                             every=args.sample_every)
         recorder = LatencyRecorder.attach(machine)
     if args.check_invariants:
+        if machine.shards > 1:
+            # The checker cross-examines live directory and cache state
+            # as each event fires; replaying the merged event stream
+            # against the (never-mutated) parent machine would check
+            # nothing.  Refuse rather than silently pass.
+            print("error: --check-invariants inspects live machine "
+                  "state and needs --shards 1", file=sys.stderr)
+            return 2
         checker = InvariantChecker.attach(machine)
     if args.progress:
         progress = RunProgress.attach(
             machine, f"{args.app}:{args.protocol}:{args.nodes}")
 
     workload = APPLICATIONS[args.app]()
-    stats = machine.run(workload)
+    try:
+        stats = machine.run(workload)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if progress is not None:
         progress.finish(stats)
     print(f"{args.app.upper()} on {args.nodes} nodes, {args.protocol} "
@@ -409,8 +463,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_json(args.trace_out,
                    chrome_trace(collector, n_nodes=args.nodes))
         print(f"  trace           {args.trace_out}")
-    if sampler is not None and recorder is not None:
-        sampler.finish(stats.run_cycles)
+    if recorder is not None:
+        if sampler is not None:
+            sampler.finish(stats.run_cycles)
         config = {
             "app": args.app,
             "protocol": args.protocol,
@@ -544,14 +599,22 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
-    machine = _machine_from(args)
+    try:
+        machine = _machine_from(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     collector = SpanCollector.attach(machine)
     if args.app == "worker":
         workload = WorkerBenchmark(worker_set_size=args.size,
                                    iterations=args.iterations)
     else:
         workload = APPLICATIONS[args.app]()
-    stats = machine.run(workload)
+    try:
+        stats = machine.run(workload)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = AttributionReport.build(collector)
     config = {
         "app": args.app,
@@ -678,8 +741,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             attribution=args.attribution,
             telemetry=monitor,
             dispatch=args.dispatch,
+            shards=args.shards,
         )
-    except ValueError as exc:
+    except (ValueError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     preset = "quick" if args.quick else "full"

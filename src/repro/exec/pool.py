@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SimJob, execute_job, job_key
+from repro.machine.params import resolve_shards
 from repro.sim.stats import RunStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -111,7 +112,8 @@ class JobRunner:
                  attribution: bool = False,
                  telemetry: Optional["FleetMonitor"] = None,
                  heartbeat_every: Optional[int] = None,
-                 dispatch: Optional[str] = None) -> None:
+                 dispatch: Optional[str] = None,
+                 shards: "int | str | None" = None) -> None:
         self.n_workers = resolve_jobs(jobs)
         self.cache = cache
         self.check_invariants = check_invariants
@@ -120,6 +122,11 @@ class JobRunner:
         #: execution knob like check_invariants: cycle-identical, so it
         #: never enters cache keys and cached results stay valid.
         self.dispatch = dispatch
+        #: parallel-in-time shard count per job, resolved against the
+        #: worker count so jobs x shards never oversubscribes the
+        #: machine (repro.machine.params.resolve_shards).  Like
+        #: dispatch: byte-identical results, never in cache keys.
+        self.shards = resolve_shards(shards, jobs=self.n_workers)
         self.attribution = attribution
         self.telemetry = telemetry
         if heartbeat_every is None:
@@ -223,7 +230,7 @@ class JobRunner:
         return {
             key: execute_job(job, check_invariants=self.check_invariants,
                              telemetry=worker_telemetry,
-                             dispatch=self.dispatch)
+                             dispatch=self.dispatch, shards=self.shards)
             for key, job in pending.items()
         }
 
@@ -240,7 +247,7 @@ class JobRunner:
                 futures = {
                     key: executor.submit(execute_job, pending[key],
                                          self.check_invariants,
-                                         None, self.dispatch)
+                                         None, self.dispatch, self.shards)
                     for key in keys
                 }
                 # Collect in plan order; completion order is irrelevant
@@ -280,7 +287,7 @@ class JobRunner:
                         key: executor.submit(_execute_job_in_worker,
                                              pending[key],
                                              self.check_invariants,
-                                             self.dispatch)
+                                             self.dispatch, self.shards)
                         for key in keys
                     }
                     return {key: futures[key].result() for key in keys}
@@ -302,7 +309,8 @@ def _init_worker_telemetry(queue, heartbeat_every) -> None:
 
 
 def _execute_job_in_worker(job: SimJob, check_invariants: bool,
-                           dispatch: Optional[str] = None) -> RunStats:
+                           dispatch: Optional[str] = None,
+                           shards: "int | None" = None) -> RunStats:
     """Worker-process entry point: execute_job + telemetry, if wired."""
     telemetry = None
     if _WORKER_TELEMETRY_QUEUE is not None:
@@ -312,7 +320,8 @@ def _execute_job_in_worker(job: SimJob, check_invariants: bool,
             _WORKER_TELEMETRY_QUEUE.put,
             heartbeat_every=_WORKER_HEARTBEAT_EVERY or DEFAULT_HEARTBEAT)
     return execute_job(job, check_invariants=check_invariants,
-                       telemetry=telemetry, dispatch=dispatch)
+                       telemetry=telemetry, dispatch=dispatch,
+                       shards=shards)
 
 
 def run_jobs(

@@ -92,7 +92,11 @@ class Processor:
         self._thread = thread
         self.state = ProcState.RUNNING
         self._last_progress = self.sim.now
-        self.sim.after(0, self._guarded(self._step))
+        # The start event is owned by this node, not by whatever context
+        # called start() (workload setup runs as node 0): a shard that
+        # starts only its own nodes must allocate exactly the sequence
+        # numbers the serial engine allocates for them.
+        self.sim.after(0, self._guarded(self._step), owner=self.node.id)
 
     @property
     def done(self) -> bool:
@@ -332,10 +336,11 @@ class Processor:
                             else "read")
         self._stall_block = block
         # Every data miss opens a coherence transaction; the id follows
-        # the miss through every message/trap/handler it causes.  The
-        # counter lives on the machine, so assignment order is fixed by
-        # the (deterministic) event order and identical across runs.
-        txn = self.machine.next_txn()
+        # the miss through every message/trap/handler it causes.  Ids
+        # are allocated from a per-node counter (interleaved modulo
+        # n_nodes), so a node's ids depend only on its own deterministic
+        # history — identical across runs and across shard counts.
+        txn = self.machine.next_txn(self.node.id)
         self._stall_txn = txn
 
         def issue() -> None:

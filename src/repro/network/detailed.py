@@ -8,6 +8,12 @@ module adds the contention NWO leaves out: every directed mesh link a
 message traverses under dimension-ordered routing is a serialised
 resource, so messages crossing shared links queue behind each other.
 
+Unlike the base fabric, delivery is computed analytically at send time
+(one event per message): link reservations are global state, so there
+is no per-node locality to exploit and no reason to split the path into
+arrival and delivery events.  That same global state is why this model
+cannot be sharded — ``--shards`` requires ``network_model="queues"``.
+
 The ablation benchmark compares the two models to quantify how much the
 paper's results could owe to the unmodelled switch contention (answer:
 little, at these traffic levels — which supports NWO's simplification).
@@ -38,9 +44,14 @@ class DetailedFabric(Fabric):
                  hop_latency: int = 1) -> None:
         super().__init__(sim, mesh, hop_latency)
         self._link_free: Dict[Link, int] = {}
+        #: last delivery time per (src, dst) pair: with link contention
+        #: the analytic delivery times are not monotone per channel, so
+        #: FIFO order needs an explicit clamp (the base fabric gets it
+        #: for free from arrival-ordered receive queues).
+        self._pair_last: Dict[Tuple[int, int], int] = {}
         self.link_wait_cycles = 0
 
-    def send(self, msg: Message, extra_delay: int = 0) -> int:
+    def send(self, msg: Message, extra_delay: int = 0) -> None:
         now = self.sim.now + extra_delay
         msg.sent_at = now
 
@@ -76,7 +87,11 @@ class DetailedFabric(Fabric):
 
         msg.delivered_at = deliver
         self.flits_carried += msg.size_flits
-        self.sim.at(deliver, partial(self._deliver, msg))
+        # The delivery event is owned by the receiving node: send() runs
+        # in the sender's event context, and two same-channel messages
+        # clamped to the same delivery cycle must sort in send order —
+        # per-receiver sequence numbers give exactly that, while a
+        # sender-context owner would order them arbitrarily.
+        self.sim.at(deliver, partial(self._deliver, msg), owner=msg.dst)
         if self.obs is not None:
             self._notify(msg)
-        return deliver

@@ -2,10 +2,22 @@
 
 Matching NWO's stated fidelity (paper Section 3.2), contention is modelled
 at the per-node transmit and receive queues — each serialises one flit per
-cycle — while switch transit is an uncontended per-hop latency.  Because
-both queues are FIFO, the delivery time of a message can be computed
-analytically at send time from two "queue free at" clocks per node, which
-keeps the event count low (one event per delivery).
+cycle — while switch transit is an uncontended per-hop latency.  The
+transmit queue is resolved at the *source* when a message is sent; the
+receive queue is resolved at the *destination* when the message arrives.
+Each message therefore costs two events (arrival and delivery), and every
+piece of network state is local to exactly one node: transmit clocks to
+the sender, receive clocks to the receiver.  That locality is what lets
+the sharded runtime (:mod:`repro.sim.shard`) partition nodes across
+processes — a cross-shard message carries only its arrival time and
+event key, never shared clock state.
+
+Point-to-point FIFO needs no explicit bookkeeping here: per (src, dst)
+pair, arrival times are strictly increasing (the sender's transmit queue
+serialises them and transit is constant per pair), and the receive clock
+is monotone, so deliveries cannot reorder.  Senders that add composition
+delays (``extra_delay``) enter the transmit queue late but still
+serialise through it.
 """
 
 from __future__ import annotations
@@ -73,9 +85,13 @@ class Fabric:
         self._transit = [h * hop_latency for h in mesh.hop_table()]
         self._tx_free = [0] * mesh.n_nodes
         self._rx_free = [0] * mesh.n_nodes
-        #: last delivery time per (src, dst) pair, to preserve FIFO order
-        #: on each channel even when senders add composition delays
-        self._pair_last: Dict[tuple, int] = {}
+        #: last loopback delivery per node.  Loopback bypasses the
+        #: transmit queue (it costs no queue time), so a later loopback
+        #: composed faster could otherwise overtake an earlier one —
+        #: e.g. a FETCH_INV passing the local WDATA grant it chases.
+        #: Network channels need no such clamp: the transmit queue
+        #: ratchets per-channel arrivals into send order.
+        self._loop_last = [0] * mesh.n_nodes
         self._receivers: Dict[int, Receiver] = {}
         self.messages_delivered = 0
         self.flits_carried = 0
@@ -87,54 +103,78 @@ class Fabric:
         """Register the delivery callback for ``node``."""
         self._receivers[node] = receiver
 
-    def send(self, msg: Message, extra_delay: int = 0) -> int:
-        """Inject ``msg``; returns its delivery time.
+    def send(self, msg: Message, extra_delay: int = 0) -> None:
+        """Inject ``msg`` into the fabric.
 
         ``extra_delay`` delays entry into the transmit queue (e.g. the
         sender is a software handler still composing the message).
+        The delivery time is not known here: the receive queue is
+        resolved at arrival, on the destination node.
         """
         now = self.sim.now + extra_delay
         msg.sent_at = now
         src = msg.src
-        dst = msg.dst
         size = msg.size_flits
-
-        if src == dst:
-            # Loopback (e.g. a node's own CMMU): charge no queue time.
-            deliver = now + 1
-        else:
-            tx_free = self._tx_free
-            tx_start = tx_free[src]
-            if now > tx_start:
-                tx_start = now
-            tx_done = tx_start + size
-            tx_free[src] = tx_done
-            arrival = tx_done + self._transit[src * self._n_nodes + dst]
-            rx_free = self._rx_free
-            rx_start = rx_free[dst]
-            if arrival > rx_start:
-                rx_start = arrival
-            deliver = rx_start + size
-            rx_free[dst] = deliver
-
-        # Point-to-point FIFO: a later send on the same channel never
-        # overtakes an earlier one (composition delays could otherwise
-        # reorder, e.g. an invalidation passing the data grant it chases).
-        pair_last = self._pair_last
-        pair = (src, dst)
-        last = pair_last.get(pair, 0)
-        if last > deliver:
-            deliver = last
-        pair_last[pair] = deliver
-
-        msg.delivered_at = deliver
         self.flits_carried += size
-        # partial beats a lambda here: calling it enters _deliver
-        # directly from C instead of through an extra Python frame.
-        self.sim.at(deliver, partial(self._deliver, msg))
+
+        if src == msg.dst:
+            # Loopback (e.g. a node's own CMMU): charge no queue time,
+            # but keep the channel FIFO (ties break in send order via
+            # the owner-local event sequence).
+            deliver = now + 1
+            last = self._loop_last[src]
+            if last > deliver:
+                deliver = last
+            self._loop_last[src] = deliver
+            msg.delivered_at = deliver
+            # partial beats a lambda here: calling it enters _deliver
+            # directly from C instead of through an extra Python frame.
+            self.sim.at(deliver, partial(self._deliver, msg))
+            if self.obs is not None:
+                self._notify(msg)
+            return
+
+        tx_free = self._tx_free
+        tx_start = tx_free[src]
+        if now > tx_start:
+            tx_start = now
+        tx_done = tx_start + size
+        tx_free[src] = tx_done
+        arrival = tx_done + self._transit[src * self._n_nodes + msg.dst]
+        self._schedule_arrival(msg, arrival)
+
+    def _schedule_arrival(self, msg: Message, arrival: int) -> None:
+        """Schedule ``msg``'s arrival at its destination.
+
+        Overridden by the sharded fabric: a cross-shard message's
+        arrival event is shipped (with its sender-allocated key) to the
+        shard that owns the destination instead of the local heap.
+        """
+        self.sim.at(arrival, partial(self._receive, msg))
+
+    def _receive(self, msg: Message) -> None:
+        """``msg`` arrived at its destination's receive queue.
+
+        Runs at the arrival time, on the destination node's shard.  The
+        simulation context is re-anchored to the destination: every
+        event this delivery causes is keyed by the receiver's counters,
+        which is what keeps cross-shard execution byte-identical to the
+        serial engine.
+        """
+        sim = self.sim
+        dst = msg.dst
+        sim.current_owner = dst
+        rx_free = self._rx_free
+        rx_start = rx_free[dst]
+        now = sim.now
+        if now > rx_start:
+            rx_start = now
+        deliver = rx_start + msg.size_flits
+        rx_free[dst] = deliver
+        msg.delivered_at = deliver
+        sim.at(deliver, partial(self._deliver, msg))
         if self.obs is not None:
             self._notify(msg)
-        return deliver
 
     def _notify(self, msg: Message) -> None:
         """Emit a message probe event (repro.obs)."""

@@ -1,20 +1,34 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a classic event heap keyed on ``(time, sequence)``.  The
-sequence number makes execution fully deterministic: two events scheduled
-for the same cycle fire in the order they were scheduled.  Determinism is
-a headline property of NWO (the paper's simulator) and we preserve it —
-every experiment in this repository is exactly reproducible.
+The engine is a classic event heap keyed on ``(time, owner, seq)``.
+``owner`` is the node whose activity scheduled the event (the engine
+tracks it in :attr:`Simulator.current_owner`; the fabric re-anchors it
+to the destination node when a message crosses the network), and
+``seq`` is drawn from a per-owner counter.  Two events scheduled for
+the same cycle fire in node order, then in the order that node
+scheduled them.  Determinism is a headline property of NWO (the
+paper's simulator) and we preserve it — every experiment in this
+repository is exactly reproducible.
+
+The owner-local key is what makes parallel-in-time sharding possible
+(:mod:`repro.sim.shard`): a shard that owns a subset of nodes
+allocates exactly the sequence numbers the serial engine would have
+allocated for those nodes, so event keys — and therefore tie-break
+order — are identical whether the machine runs in one process or
+many.  A global sequence counter could not be reproduced shard-locally
+(its value depends on the interleaving of *all* nodes' activity);
+per-owner counters depend only on the owner's own deterministic
+history.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
-Event = Tuple[int, int, Callable[[], None]]
+Event = Tuple[int, int, int, Callable[[], None]]
 
 
 class Simulator:
@@ -27,7 +41,16 @@ class Simulator:
         #: costs a Python call per read.  Treat it as read-only outside
         #: this class.
         self.now = 0
-        self._seq = 0
+        #: Node context of the event currently executing; events
+        #: scheduled without an explicit owner inherit it.  The run
+        #: loops set it from each event's key; the fabric sets it to a
+        #: message's destination when delivery processing begins.
+        self.current_owner = 0
+        #: Full key of the event currently executing under
+        #: :meth:`run_window` — shard-mode bookkeeping used to tag
+        #: observability records for deterministic cross-shard merging.
+        self.current_key: Tuple[int, int, int] = (0, 0, 0)
+        self._owner_seq: Dict[int, int] = {}
         self._heap: List[Event] = []
         self._running = False
         self._stopped = False
@@ -41,26 +64,63 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
 
-    def at(self, time: int, fn: Callable[[], None]) -> None:
+    def alloc_seq(self, owner: int) -> int:
+        """Allocate the next sequence number for ``owner``.
+
+        Exposed for the sharded fabric, which must burn the sender-side
+        sequence number for a cross-shard message locally (keeping the
+        sender's counter bit-identical to the serial engine's) and ship
+        the finished key to the destination shard for :meth:`post`.
+        """
+        seqs = self._owner_seq
+        seq = seqs.get(owner, 0) + 1
+        seqs[owner] = seq
+        return seq
+
+    def at(self, time: int, fn: Callable[[], None],
+           owner: Optional[int] = None) -> None:
         """Schedule ``fn`` to run at absolute cycle ``time``.
 
-        Validation precedes the sequence-number increment: a rejected
-        schedule must not burn a sequence number, or an exception caught
-        and retried by a caller would shift the tie-break order of every
-        later event and break bit-for-bit reproducibility.
+        ``owner`` defaults to :attr:`current_owner` — the node context
+        of the event being executed.  Validation precedes the
+        sequence-number allocation: a rejected schedule must not burn a
+        sequence number, or an exception caught and retried by a caller
+        would shift the tie-break order of every later event and break
+        bit-for-bit reproducibility.
         """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < {self.now})"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        if owner is None:
+            owner = self.current_owner
+        seqs = self._owner_seq
+        seq = seqs.get(owner, 0) + 1
+        seqs[owner] = seq
+        heapq.heappush(self._heap, (time, owner, seq, fn))
 
-    def after(self, delay: int, fn: Callable[[], None]) -> None:
+    def after(self, delay: int, fn: Callable[[], None],
+              owner: Optional[int] = None) -> None:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self.now + delay, fn)
+        self.at(self.now + delay, fn, owner)
+
+    def post(self, time: int, owner: int, seq: int,
+             fn: Callable[[], None]) -> None:
+        """Insert an event under a pre-allocated ``(time, owner, seq)``.
+
+        Shard-mode injection: a cross-shard message arrives with the
+        exact key its sender allocated (via :meth:`alloc_seq`), so the
+        destination shard's heap orders it precisely where the serial
+        engine would have.  The local counter for ``owner`` is *not*
+        advanced — the owning shard already did.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot post event in the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._heap, (time, owner, seq, fn))
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""
@@ -111,11 +171,12 @@ class Simulator:
                 # No cycle limit, no event budget, no observer: the
                 # common case (every experiment driver run) takes the
                 # tight loop with no per-event limit or probe checks.
-                # Tuple unpacking beats indexing twice into the popped
-                # event; both callables come from locals.
+                # Tuple unpacking beats indexing into the popped event;
+                # both callables come from locals.
                 while heap and not self._stopped:
-                    time, _, fn = pop(heap)
+                    time, owner, _, fn = pop(heap)
                     self.now = time
+                    self.current_owner = owner
                     fn()
             else:
                 processed = 0
@@ -125,12 +186,13 @@ class Simulator:
                     if until is not None and time > until:
                         self.now = until
                         break
-                    fn = pop(heap)[2]
+                    _, owner, _, fn = pop(heap)
                     if probe is not None and time > self.now:
                         self.now = time
                         probe(time)
                     else:
                         self.now = time
+                    self.current_owner = owner
                     fn()
                     processed += 1
                     if max_events is not None and processed >= max_events:
@@ -145,6 +207,42 @@ class Simulator:
         finally:
             self._running = False
         return self.now
+
+    def run_window(self, limit: int) -> int:
+        """Run every queued event with ``time < limit``; return the
+        number executed.
+
+        The shard loop: a shard advances through one conservative time
+        window, then synchronises at the window barrier
+        (:mod:`repro.sim.shard`).  Events at or beyond ``limit`` stay
+        queued for later windows.  Each executed event's full key is
+        published in :attr:`current_key` so observability records
+        emitted during it can be tagged for deterministic merging.
+        """
+        if self._running:
+            raise SimulationError("run_window() is not reentrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        try:
+            while heap and not self._stopped:
+                if heap[0][0] >= limit:
+                    break
+                time, owner, seq, fn = pop(heap)
+                self.now = time
+                self.current_owner = owner
+                self.current_key = (time, owner, seq)
+                fn()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    @property
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest queued event, or ``None`` if idle."""
+        return self._heap[0][0] if self._heap else None
 
     @property
     def pending_events(self) -> int:

@@ -59,13 +59,41 @@ class ProtocolTracer:
     """
 
     def __init__(self, blocks: Optional[Set[int]] = None) -> None:
-        self.records: List[TraceRecord] = []
+        #: captured live Message objects; records are materialised
+        #: lazily because a message's delivery time is only known once
+        #: it reaches the destination's receive queue (the fabric
+        #: mutates ``delivered_at`` at arrival, after send returns)
+        self._messages: List = []
+        self._records: Optional[List[TraceRecord]] = None
         self._filter = blocks
         self._fabric = None
         self._inner_send = None
         self._wrapper = None
         self._had_override = False
         self._active = False
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The transcript so far, as frozen :class:`TraceRecord` rows."""
+        if self._records is None:
+            self._records = [
+                TraceRecord(
+                    sent_at=m.sent_at,
+                    delivered_at=m.delivered_at,
+                    kind=m.kind,
+                    src=m.src,
+                    dst=m.dst,
+                    block=m.payload.block,
+                )
+                for m in self._messages
+            ]
+        return self._records
+
+    @records.setter
+    def records(self, value: List[TraceRecord]) -> None:
+        # Tests and offline checkers build transcripts directly.
+        self._records = list(value)
+        self._messages = []
 
     @classmethod
     def attach(cls, machine: "Machine",
@@ -83,19 +111,13 @@ class ProtocolTracer:
         inner_send = fabric.send
 
         def traced_send(message, extra_delay: int = 0):
-            deliver = inner_send(message, extra_delay)
+            result = inner_send(message, extra_delay)
             if tracer._active and message.kind in _TRACED:
                 block = message.payload.block
                 if tracer._filter is None or block in tracer._filter:
-                    tracer.records.append(TraceRecord(
-                        sent_at=message.sent_at,
-                        delivered_at=deliver,
-                        kind=message.kind,
-                        src=message.src,
-                        dst=message.dst,
-                        block=block,
-                    ))
-            return deliver
+                    tracer._messages.append(message)
+                    tracer._records = None
+            return result
 
         tracer._fabric = fabric
         tracer._inner_send = inner_send

@@ -71,8 +71,10 @@ MODULES = [
     "repro.obs.timeseries",
     "repro.sim",
     "repro.sim.engine",
+    "repro.sim.shard",
     "repro.sim.stats",
     "repro.sim.trace",
+    "repro.sim.windows",
     "repro.verify",
     "repro.verify.abstract",
     "repro.verify.lint",

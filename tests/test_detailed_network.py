@@ -29,21 +29,26 @@ class TestDetailedFabric:
         sim_a = Simulator()
         simple = Fabric(sim_a, Mesh(16))
         simple.attach(3, lambda m: None)
-        d_simple = simple.send(Message(src=0, dst=3, kind="x",
-                                       size_flits=4))
+        msg_simple = Message(src=0, dst=3, kind="x", size_flits=4)
+        simple.send(msg_simple)
+        sim_a.run()
 
         sim_b, detailed, _ = fabrics()
-        d_detailed = detailed.send(Message(src=0, dst=3, kind="x",
-                                           size_flits=4))
-        assert abs(d_detailed - d_simple) <= 4
+        msg_detailed = Message(src=0, dst=3, kind="x", size_flits=4)
+        detailed.send(msg_detailed)
+        sim_b.run()
+        assert abs(msg_detailed.delivered_at
+                   - msg_simple.delivered_at) <= 4
 
     def test_shared_link_serialises(self):
         _sim, detailed, _ = fabrics()
         # Both messages traverse link (1 -> 2) under X-then-Y routing.
-        d1 = detailed.send(Message(src=0, dst=3, kind="a", size_flits=6))
-        d2 = detailed.send(Message(src=1, dst=3, kind="b", size_flits=6))
+        a = Message(src=0, dst=3, kind="a", size_flits=6)
+        b = Message(src=1, dst=3, kind="b", size_flits=6)
+        detailed.send(a)
+        detailed.send(b)
         assert detailed.link_wait_cycles > 0
-        assert d2 > d1
+        assert b.delivered_at > a.delivered_at
 
     def test_disjoint_routes_do_not_interact(self):
         _sim, detailed, _ = fabrics()

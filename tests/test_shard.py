@@ -1,0 +1,372 @@
+"""Tests for the sharded parallel-in-time runtime.
+
+Three contracts under test:
+
+- the window math (:mod:`repro.sim.windows`) is sound: partitions
+  cover the nodes, lookahead comes from the true minimum cross-shard
+  mesh distance, and the window never collapses to zero;
+- sharded execution (:mod:`repro.sim.shard`) is *byte-identical* to
+  the serial engine — cycle counts, per-node statistics, handler
+  samples, worker-set histograms, fabric counters, and attribution
+  artifacts — at any shard count, including more shards than cores;
+- everything the sharded runtime cannot reproduce exactly (link-level
+  contention, profilers, advance subscribers, run bounds, invariant
+  checking) is refused loudly instead of silently diverging.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+)
+from repro.exec import JobRunner, make_job
+from repro.exec.jobs import execute_job
+from repro.machine.machine import Machine
+from repro.machine import params as params_mod
+from repro.machine.params import MachineParams, resolve_shards
+from repro.network.topology import Mesh
+from repro.obs.fleet import FleetMonitor, FleetTelemetry, event
+from repro.sim.windows import (
+    min_cross_shard_hops,
+    owner_of_nodes,
+    partition_nodes,
+    window_length,
+)
+from repro.workloads.base import Workload
+from repro.workloads.worker import WorkerBenchmark
+
+from tests.helpers import VersionedWorkload
+
+
+# ----------------------------------------------------------------------
+# Window math
+# ----------------------------------------------------------------------
+
+class TestWindows:
+    def test_partition_covers_nodes_contiguously(self):
+        shards = partition_nodes(16, 3)
+        assert [len(s) for s in shards] == [6, 5, 5]
+        assert [n for shard in shards for n in shard] == list(range(16))
+
+    def test_partition_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            partition_nodes(16, 0)
+        with pytest.raises(ConfigurationError):
+            partition_nodes(4, 5)
+
+    def test_owner_matches_partition(self):
+        owner = owner_of_nodes(16, 4)
+        for shard, nodes in enumerate(partition_nodes(16, 4)):
+            assert all(owner[n] == shard for n in nodes)
+
+    def test_min_hops_adjacent_rows(self):
+        # Splitting a 4x4 mesh in half puts rows 0-1 and 2-3 in
+        # different shards; the closest cross-shard pair is vertically
+        # adjacent.
+        mesh = Mesh(16)
+        assert min_cross_shard_hops(mesh, owner_of_nodes(16, 2)) == 1
+
+    def test_min_hops_single_shard_is_diameter(self):
+        # No cross-shard pair exists; the (unused) lookahead is the
+        # full mesh diameter: 3 + 3 hops across a 4x4 mesh.
+        mesh = Mesh(16)
+        assert min_cross_shard_hops(mesh, owner_of_nodes(16, 1)) == 6
+
+    def test_min_hops_brute_force(self):
+        mesh = Mesh(16)
+        for n_shards in (2, 3, 5, 16):
+            owner = owner_of_nodes(16, n_shards)
+            expected = min(
+                mesh.hops(a, b)
+                for a in range(16) for b in range(16)
+                if owner[a] != owner[b]
+            )
+            assert min_cross_shard_hops(mesh, owner) == expected
+
+    def test_window_length(self):
+        assert window_length(2, 1, 3) == 5
+        assert window_length(2, 2, 1) == 4
+        # Floored at one cycle so degenerate parameters still advance.
+        assert window_length(0, 0, 0) == 1
+
+
+# ----------------------------------------------------------------------
+# Byte-identity with the serial engine
+# ----------------------------------------------------------------------
+
+def _run(workload, shards, protocol="DirnH5SNB", n_nodes=16, **kwargs):
+    machine = Machine(MachineParams(n_nodes=n_nodes), protocol=protocol,
+                      shards=shards, **kwargs)
+    stats = machine.run(workload)
+    return machine, stats
+
+
+_SERIAL_CACHE = {}
+
+
+def _serial(key, workload_factory, **kwargs):
+    if key not in _SERIAL_CACHE:
+        _SERIAL_CACHE[key] = _run(workload_factory(), 1, **kwargs)
+    return _SERIAL_CACHE[key]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_worker_benchmark_matches_serial(self, shards):
+        def workload():
+            return WorkerBenchmark(worker_set_size=6, iterations=2)
+
+        serial_machine, serial = _serial(
+            "worker16", workload, track_worker_sets=True)
+        machine, stats = _run(workload(), shards, track_worker_sets=True)
+        assert stats.to_json_dict() == serial.to_json_dict()
+        assert stats.handler_samples == serial.handler_samples
+        assert (machine.worker_set_histogram()
+                == serial_machine.worker_set_histogram())
+        assert (machine.fabric.messages_delivered
+                == serial_machine.fabric.messages_delivered)
+        assert (machine.fabric.flits_carried
+                == serial_machine.fabric.flits_carried)
+        assert (machine.barrier.barriers_completed
+                == serial_machine.barrier.barriers_completed)
+        assert machine.sim.now == serial_machine.sim.now
+
+    @pytest.mark.parametrize("protocol", ["DirnH5SNB", "full-map"])
+    def test_adversarial_traffic_matches_serial(self, protocol):
+        def workload():
+            return VersionedWorkload(ops_per_node=60, blocks=8, seed=3,
+                                     write_ratio=0.4, barrier_every=20)
+
+        _, serial = _serial(f"versioned9-{protocol}", workload,
+                            protocol=protocol, n_nodes=9)
+        _, stats = _run(workload(), 3, protocol=protocol, n_nodes=9)
+        assert stats.to_json_dict() == serial.to_json_dict()
+
+    def test_attribution_artifact_matches_serial(self):
+        # The attribution pipeline rides the observability bus; the
+        # sharded engine records per-shard event streams and replays
+        # the merge through the parent bus, so the artifact must come
+        # out identical.
+        job = make_job(WorkerBenchmark,
+                       dict(worker_set_size=4, iterations=1),
+                       protocol="DirnH5SNB", n_nodes=16,
+                       attribution=True)
+        serial = execute_job(job, shards=1)
+        sharded = execute_job(job, shards=4)
+        assert serial.attribution is not None
+        assert sharded.attribution == serial.attribution
+
+    def test_serial_only_workload_falls_back_byte_identically(self):
+        # EVOLVE's thread op streams couple through Python state
+        # (the shared visit-counter cadence), so it declares
+        # shard_safe=False and a sharded machine silently runs it on
+        # the serial engine instead of diverging.
+        from repro.workloads.evolve import Evolve
+
+        assert Evolve.shard_safe is False
+        assert WorkerBenchmark.shard_safe is True
+
+        def workload():
+            return Evolve(dimensions=6, walks_per_node=2, seed=11)
+
+        serial_machine, serial = _serial(
+            "evolve9", workload, n_nodes=9, track_worker_sets=True)
+        machine, stats = _run(workload(), 3, n_nodes=9,
+                              track_worker_sets=True)
+        assert stats.to_json_dict() == serial.to_json_dict()
+        assert (machine.worker_set_histogram()
+                == serial_machine.worker_set_histogram())
+
+    def test_run_sharded_rejects_serial_only_workload(self):
+        # Defense in depth: calling the sharded runtime directly with
+        # a shard_safe=False workload is a hard error, not a silently
+        # wrong run.
+        from repro.sim.shard import run_sharded
+        from repro.workloads.evolve import Evolve
+
+        machine = Machine(MachineParams(n_nodes=9), shards=1)
+        with pytest.raises(ConfigurationError, match="shard_safe"):
+            run_sharded(machine, Evolve(dimensions=6, walks_per_node=1),
+                        3)
+
+    def test_deadlock_detected_across_shards(self):
+        class Unbalanced(Workload):
+            name = "unbalanced"
+
+            def setup(self, machine):
+                pass
+
+            def thread(self, machine, node_id):
+                if node_id == 0:
+                    yield ("barrier",)
+                else:
+                    yield ("compute", 5)
+
+        with pytest.raises(DeadlockError, match="blocked processors"):
+            _run(Unbalanced(), 2, n_nodes=4)
+
+
+# ----------------------------------------------------------------------
+# Unsupported configurations are refused, not silently wrong
+# ----------------------------------------------------------------------
+
+def _machine(shards=2, n_nodes=4, **kwargs):
+    return Machine(MachineParams(n_nodes=n_nodes), protocol="DirnH5SNB",
+                   shards=shards, **kwargs)
+
+
+def _tiny():
+    return WorkerBenchmark(worker_set_size=2, iterations=1)
+
+
+class TestRestrictions:
+    def test_links_network_model_refused(self):
+        machine = _machine(network_model="links")
+        with pytest.raises(ConfigurationError, match="queues"):
+            machine.run(_tiny())
+
+    def test_profiler_refused(self):
+        machine = _machine()
+        machine.profiler = object()
+        with pytest.raises(ConfigurationError, match="profiler"):
+            machine.run(_tiny())
+
+    def test_run_bounds_refused(self):
+        with pytest.raises(ConfigurationError, match="max_cycles"):
+            _machine().run(_tiny(), max_cycles=1000)
+        with pytest.raises(ConfigurationError, match="max_cycles"):
+            _machine().run(_tiny(), max_events=1000)
+
+    def test_wrapped_fabric_refused(self):
+        machine = _machine()
+        machine.fabric.send = machine.fabric.send  # tracer-style wrap
+        with pytest.raises(ConfigurationError, match="wrapped fabric"):
+            machine.run(_tiny())
+
+    def test_advance_subscriber_refused(self):
+        machine = _machine()
+        machine.observe().subscribe("advance", lambda e: None)
+        with pytest.raises(ConfigurationError, match="advance"):
+            machine.run(_tiny())
+
+    def test_scheduling_setup_refused(self):
+        class EagerSetup(Workload):
+            name = "eager"
+
+            def setup(self, machine):
+                machine.sim.at(5, lambda: None)
+
+            def thread(self, machine, node_id):
+                yield ("compute", 1)
+
+        machine = _machine()
+        with pytest.raises(SimulationError, match="schedule-free"):
+            machine.run(EagerSetup())
+
+    def test_check_invariants_refused(self):
+        job = make_job(WorkerBenchmark, dict(worker_set_size=2,
+                                             iterations=1),
+                       protocol="DirnH5SNB", n_nodes=4)
+        with pytest.raises(ConfigurationError, match="check-invariants"):
+            execute_job(job, check_invariants=True, shards=2)
+
+
+# ----------------------------------------------------------------------
+# Shard-count resolution (mirrors resolve_jobs)
+# ----------------------------------------------------------------------
+
+class TestResolveShards:
+    @pytest.fixture(autouse=True)
+    def eight_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        monkeypatch.setattr(params_mod.os, "cpu_count", lambda: 8)
+
+    def test_default_is_serial(self):
+        assert resolve_shards() == 1
+        assert resolve_shards(None) == 1
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert resolve_shards(None) == 3
+        # An explicit value still wins.
+        assert resolve_shards(2) == 2
+
+    def test_env_var_junk_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_shards(None)
+
+    def test_auto_divides_cpus_by_jobs(self):
+        assert resolve_shards("auto") == 8
+        assert resolve_shards("auto", jobs=4) == 2
+        assert resolve_shards("auto", jobs=16) == 1  # floor of one
+
+    def test_explicit_honoured_verbatim_when_alone(self):
+        # More shards than cores is legal at jobs == 1: the CI
+        # equivalence gate runs --shards 3 on small runners.
+        assert resolve_shards(32) == 32
+        assert resolve_shards("5") == 5
+
+    def test_explicit_clamped_to_fair_share_in_a_pool(self):
+        assert resolve_shards(32, jobs=2) == 4
+        assert resolve_shards(2, jobs=2) == 2  # under the share: kept
+
+    def test_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            resolve_shards("lots")
+        with pytest.raises(ConfigurationError):
+            resolve_shards(0)
+        with pytest.raises(ConfigurationError):
+            resolve_shards(-1)
+        with pytest.raises(ConfigurationError):
+            resolve_shards(2, jobs=0)
+
+    def test_machine_caps_shards_at_node_count(self):
+        machine = Machine(MachineParams(n_nodes=4), shards=64)
+        assert machine.shards == 4
+
+    def test_runner_resolves_against_worker_count(self):
+        assert JobRunner(jobs=1, shards=3).shards == 3
+        assert JobRunner(jobs=4, shards=32).shards == 2
+
+
+# ----------------------------------------------------------------------
+# Fleet telemetry: per-shard heartbeats
+# ----------------------------------------------------------------------
+
+class TestFleetSharded:
+    def test_heartbeats_carry_shard_ids(self):
+        events = []
+        telemetry = FleetTelemetry(events.append, heartbeat_every=1)
+        job = make_job(WorkerBenchmark, dict(worker_set_size=2,
+                                             iterations=1),
+                       protocol="DirnH5SNB", n_nodes=4)
+        execute_job(job, telemetry=telemetry, shards=2)
+        beats = [e for e in events if e["event"] == "job_progress"]
+        assert beats, "sharded run emitted no heartbeats"
+        assert {e["shard"] for e in beats} == {0, 1}
+        assert all(e["cycles"] >= 0 for e in beats)
+        assert [e["event"] for e in events][0] == "job_started"
+        assert events[-1]["event"] == "job_finished"
+
+    def test_monitor_tracks_and_renders_shards(self):
+        monitor = FleetMonitor()
+        monitor.handle(event("job_started", key="k", pid=1))
+        monitor.handle(event("job_progress", key="k", pid=1,
+                             cycles=100, shard=0))
+        monitor.handle(event("job_progress", key="k", pid=1,
+                             cycles=90, shard=1))
+        assert monitor.summary()["shards"]["k"] == [100, 90]
+        assert "shards" in monitor.render_progress()
+        monitor.handle(event("job_finished", key="k", pid=1, wall_s=0.1,
+                             run_cycles=100,
+                             sim_cycles_per_sec=1000.0))
+        assert monitor.summary()["shards"] == {}
+
+    def test_plain_heartbeats_unaffected(self):
+        monitor = FleetMonitor()
+        monitor.handle(event("job_started", key="k", pid=1))
+        monitor.handle(event("job_progress", key="k", pid=1, cycles=50))
+        assert monitor.summary()["shards"] == {}

@@ -47,11 +47,21 @@ class TestTxnAssignment:
         ids = [s.txn for s in misses]
         assert len(ids) == len(set(ids))
 
-    def test_ids_are_dense_from_one(self):
+    def test_ids_are_node_striped(self):
+        # Ids stride by n_nodes from node_id + 1: each node's sequence
+        # depends only on its own history (shard-invariant), and the
+        # allocating node is recoverable as (id - 1) % n_nodes.
         machine, _stats, collector = traced_run()
-        ids = sorted(t.txn for t in collector.transactions())
-        assert ids == list(range(1, len(ids) + 1))
-        assert machine.next_txn() == len(ids) + 1
+        n = machine.params.n_nodes
+        per_node = {}
+        for trace in collector.transactions():
+            node = (trace.txn - 1) % n
+            assert trace.stall is None or trace.stall.node == node
+            per_node.setdefault(node, []).append(trace.txn)
+        for node, ids in per_node.items():
+            assert sorted(ids) == [i * n + node + 1
+                                   for i in range(len(ids))]
+            assert machine.next_txn(node) == len(ids) * n + node + 1
 
     def test_non_miss_stalls_are_untagged(self):
         _machine, _stats, collector = worker_run()
