@@ -352,8 +352,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="static verification: protocol model checker + "
-             "determinism linter")
+        help="static verification: protocol model checker, "
+             "determinism linter, and dataflow analyses")
     check.add_argument("--all", action="store_true",
                        help="run every analysis (default when no "
                             "analysis flag is given)")
@@ -363,6 +363,11 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--lint", action="store_true",
                        help="lint src/repro for nondeterminism "
                             "hazards")
+    check.add_argument("--flow", action="store_true",
+                       help="dataflow analyses: translation "
+                            "validation of compiled dispatch, "
+                            "shard-safety inference, taint-based "
+                            "determinism lint")
     check.add_argument("--quick", action="store_true",
                        help="model-check only the two-node "
                             "configurations (seconds instead of "
@@ -823,6 +828,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.protocol.compile import ensure_builtin_tables_compiled
+    from repro.verify.flow import run_flow
     from repro.verify.lint import run_lint
     from repro.verify.modelcheck import (
         MAX_STATES,
@@ -831,8 +838,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     from repro.verify.report import EXIT_ERROR, Report, write_json
 
-    run_model = args.model or args.all or not (args.model or args.lint)
-    run_linter = args.lint or args.all or not (args.model or args.lint)
+    explicit = args.model or args.lint or args.flow
+    run_model = args.model or args.all or not explicit
+    run_linter = args.lint or args.all or not explicit
+    run_flow_passes = args.flow or args.all or not explicit
     report = Report()
     try:
         if run_model:
@@ -845,7 +854,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
                             else MAX_STATES),
                 coverage=not args.quick))
         if run_linter:
+            # Populate the generated-source registry so the linter
+            # always sees the compiled dispatch modules, even in a
+            # process that never constructed a machine.
+            ensure_builtin_tables_compiled()
             report.extend(run_lint())
+        if run_flow_passes:
+            report.extend(run_flow())
     except Exception as exc:
         print(f"repro check: internal error: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -50,6 +50,8 @@ __all__ = [
     "generate_source",
     "generated_filename",
     "generated_sources",
+    "generation_manifest",
+    "ensure_builtin_tables_compiled",
     "bind_table",
 ]
 
@@ -260,6 +262,69 @@ def generate_source(table: ProtocolTable) -> str:
     out.append("    return handle_fast, handle_probe")
     out.append("")
     return "\n".join(out)
+
+
+def generation_manifest(table: ProtocolTable) -> Dict[str, object]:
+    """Structured claims about what :func:`generate_source` emits.
+
+    The translation validator (:mod:`repro.verify.flow.transval`)
+    derives its expectations from the table independently and
+    cross-checks them against this manifest, so a drift between what
+    the compiler *says* it emitted and what the table requires is a
+    finding even before the source text is inspected.
+    """
+    events: Dict[str, object] = {}
+    elided = []
+    for event in table.events():
+        policy = table.policies[event]
+        rows = table.rows_for(event)
+        events[event] = {
+            "lookup": policy.lookup,
+            "fallback": policy.fallback,
+            "rows": [
+                {
+                    "guard": row.guard,
+                    "action": row.action,
+                    "states": (None if row.states is None
+                               else [s.name for s in row.states]),
+                    "next_state": row.next_state,
+                }
+                for row in _live_rows(table, event)
+            ],
+        }
+        for index, row in enumerate(rows):
+            if row.unreachable:
+                elided.append({"event": event, "index": index,
+                               "action": row.action})
+    methods = sorted(
+        {row.guard for event in table.events()
+         for row in _live_rows(table, event) if row.guard is not None}
+        | {row.action for event in table.events()
+           for row in _live_rows(table, event)}
+    )
+    return {
+        "table": table.name,
+        "filename": generated_filename(table),
+        "bound_methods": methods,
+        "events": events,
+        "elided_rows": elided,
+    }
+
+
+def ensure_builtin_tables_compiled() -> Tuple[ProtocolTable, ...]:
+    """Compile both builtin tables into the generated-source registry.
+
+    ``repro check`` calls this before linting or validating generated
+    code, so the registry is populated even when no machine has been
+    constructed in the process yet.
+    """
+    from repro.core.protocol.table import (HARDWARE_TABLE,
+                                           SOFTWARE_ONLY_TABLE)
+
+    tables = (HARDWARE_TABLE, SOFTWARE_ONLY_TABLE)
+    for table in tables:
+        _bind_function(table)
+    return tables
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,652 @@
+"""Shard-safety inference for workloads (purity/escape analysis).
+
+The ``shard_safe`` contract (:class:`repro.workloads.base.Workload`):
+a thread's *yielded ops* must depend only on the machine parameters
+and its own ``node_id``; Python-side aggregates may couple threads
+freely because they never reach ``RunStats``.  Until now the flag was
+declared by hand and audited by eye.  This pass checks it.
+
+The analysis abstractly interprets ``thread()`` (inlining ``self``
+method calls, module functions, and generator helpers) and answers:
+which instance attributes does thread-reachable code *mutate*, and do
+any of those mutations flow into a yielded op — as the op's value, as
+the condition guarding the yield, or as an early exit that changes the
+stream's shape?
+
+Precision features, each load-bearing for one of the eight stock
+workloads:
+
+- **Mutation scope.**  A store at a node-private index
+  (``self._partials[node_id] = x``, or through an object taken from a
+  node-partitioned container like ``owned = self._owned[node_id]``)
+  only couples a thread to itself.  Reads back through a node-private
+  path stay clean (MP3D's particles, WATER's molecules); whole-
+  container or globally-indexed reads of the same attribute are
+  tainted (AQ's reduction over ``self._partials``).
+- **Field sensitivity.**  Mutations are tracked as (attribute, field)
+  pairs, so SMGRID's ``level.u`` / ``level.new_rows`` updates do not
+  taint reads of ``level.seg_addr`` / ``level.tile_points`` on the
+  same objects.
+- **Tuple-element precision.**  WATER appends ``(mine, fx, fy)`` with
+  tainted forces; unpacking must keep ``mine`` clean so the publish
+  ops stay provably node-local.
+- **Control and shape dependence.**  EVOLVE's visit-counter cadence
+  (``if self.steps % 2 == 0: yield ...``) is unsafe precisely because
+  the *presence* of ops depends on globally-mutated state; likewise a
+  ``break``/``return`` under tainted control in a generator.
+- **Interprocedural.**  Generator helpers (SMGRID's ``_sweep``), plain
+  helpers (WATER's ``_force_on``), recursion (AQ's ``_refine``, via a
+  fixpoint summary), and method calls on non-workload objects
+  (``level.active_nodes()``, summarized by the fields they read).
+
+The verdict is cross-checked against the declared flag: *declared safe
+but inferred unsafe* is a finding (code ``SHD01``); a conservative
+declared-unsafe flag on a provably safe workload is reported in stats
+only, never as a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import sys
+from typing import Dict, FrozenSet, List, Optional, Tuple, Type
+
+from repro.verify.flow.absint import AbsVal, CLEAN, StructuralInterpreter
+from repro.verify.report import Finding, Report
+
+__all__ = ["Inference", "infer", "run_shardsafe", "DEFAULT_WORKLOADS"]
+
+#: capability: this value is derived from node_id / a node partition
+CAP_NODE = "node-scoped"
+
+#: capability: iterating/indexing this container yields node-private data
+CAP_PRIVATE = "node-private-elems"
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: maximum method-inline depth before giving up (conservative join)
+_MAX_INLINE = 24
+
+#: container methods that read one element (like a subscript)
+_ELEMENT_READERS = {"get", "pop", "popitem", "setdefault"}
+
+#: container methods that view the whole container (global-scope read)
+_WHOLE_READERS = {"items", "values", "keys", "copy", "index", "count"}
+
+_MUTATOR_METHODS = {"append", "extend", "add", "insert", "update",
+                    "setdefault", "clear", "pop", "popitem", "remove",
+                    "discard", "sort", "reverse"}
+
+
+class _Ref:
+    """Where an abstract value lives relative to ``self``."""
+
+    __slots__ = ("root", "field", "scope")
+
+    def __init__(self, root: str, field: Optional[str],
+                 scope: str) -> None:
+        self.root = root      # instance attribute name
+        self.field = field    # one level of field sensitivity
+        self.scope = scope    # "whole" | "node" | "global"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, _Ref) and self.root == other.root
+                and self.field == other.field
+                and self.scope == other.scope)
+
+    def __hash__(self) -> int:
+        return hash((self.root, self.field, self.scope))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        field = f".{self.field}" if self.field else ""
+        return f"self.{self.root}{field}@{self.scope}"
+
+
+SELF_REF = _Ref("", None, "self")
+
+#: (attribute, field-or-None) -> ("node" | "global", first line seen).
+#: field ``"[]"`` means element stores / container-level mutators.
+Mutations = Dict[Tuple[str, Optional[str]], Tuple[str, int]]
+
+
+def _join_scope(a: str, b: str) -> str:
+    return "node" if a == b == "node" else "global"
+
+
+class _ClassModel:
+    """Parsed module + class: everything the interpreter resolves."""
+
+    def __init__(self, cls: Type) -> None:
+        self.cls = cls
+        module = sys.modules[cls.__module__]
+        self.filename = inspect.getsourcefile(module) or "<unknown>"
+        tree = ast.parse(inspect.getsource(module))
+        self.class_node: Optional[ast.ClassDef] = None
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        self.module_functions: Dict[str, ast.FunctionDef] = {}
+        #: method name -> self-attribute names read, for classes other
+        #: than the workload (e.g. SMGRID's Level.active_nodes)
+        self.helper_reads: Dict[str, FrozenSet[str]] = {}
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.module_functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                if node.name == cls.__name__:
+                    self.class_node = node
+                    for item in node.body:
+                        if isinstance(item, ast.FunctionDef):
+                            self.methods[item.name] = item
+                else:
+                    self._summarize_helper(node)
+        if self.class_node is None:
+            raise ValueError(
+                f"class {cls.__name__} not found in module source")
+        if "thread" not in self.methods:
+            raise ValueError(f"{cls.__name__} defines no thread() method")
+
+    def _summarize_helper(self, node: ast.ClassDef) -> None:
+        direct: Dict[str, FrozenSet[str]] = {}
+        calls: Dict[str, FrozenSet[str]] = {}
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            reads = set()
+            called = set()
+            for sub in ast.walk(item):
+                if (isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                        and isinstance(sub.ctx, ast.Load)):
+                    reads.add(sub.attr)
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == "self"):
+                    called.add(sub.func.attr)
+            direct[item.name] = frozenset(reads)
+            calls[item.name] = frozenset(called)
+        # One transitive closure pass per method (depth-2 is plenty for
+        # the helper classes in this repo; deeper chains just widen).
+        for name, reads in direct.items():
+            closure = set(reads)
+            for callee in calls.get(name, ()):
+                closure |= direct.get(callee, _EMPTY)
+            merged = self.helper_reads.get(name, _EMPTY) | closure
+            self.helper_reads[name] = frozenset(merged)
+
+
+class _Hazard:
+    __slots__ = ("lineno", "kind", "sources")
+
+    def __init__(self, lineno: int, kind: str,
+                 sources: FrozenSet[str]) -> None:
+        self.lineno = lineno
+        self.kind = kind  # "value" | "control" | "shape"
+        self.sources = sources
+
+
+class _WorkloadInterp(StructuralInterpreter):
+    """One frame of the shard-safety interpretation."""
+
+    def __init__(self, model: _ClassModel, mutations: Mutations,
+                 summaries: Dict[str, AbsVal], stack: Tuple[str, ...],
+                 record_yields: bool) -> None:
+        super().__init__()
+        self.model = model
+        self.mutations = mutations
+        self.summaries = summaries
+        self.stack = stack
+        self.record_yields = record_yields
+        self.hazards: List[_Hazard] = []
+        #: (value, control) pairs for generator summaries
+        self.yielded: List[Tuple[AbsVal, FrozenSet[str]]] = []
+
+    # -- mutation bookkeeping -----------------------------------------
+
+    def _record(self, root: str, field: Optional[str], scope: str,
+                lineno: int) -> None:
+        key = (root, field)
+        cur = self.mutations.get(key)
+        if cur is None:
+            self.mutations[key] = (scope, lineno)
+        elif scope == "global" and cur[0] == "node":
+            self.mutations[key] = ("global", cur[1])
+
+    def _label(self, root: str, field: Optional[str]) -> str:
+        if field and field != "[]":
+            return f"self.{root}.{field}"
+        return f"self.{root}"
+
+    def _mutation_taint(self, root: str, field: Optional[str],
+                        read_scope: str) -> FrozenSet[str]:
+        """Taint of reading (root, field) through a ``read_scope`` path."""
+        entry = self.mutations.get((root, field))
+        if entry is None:
+            return _EMPTY
+        scope, _line = entry
+        if scope == "node" and read_scope == "node":
+            return _EMPTY
+        return frozenset([self._label(root, field)])
+
+    def _index_scope(self, index: AbsVal) -> str:
+        return "node" if CAP_NODE in index.caps else "global"
+
+    def _globally_mutated_container(self, root: str) -> bool:
+        for (r, field), (scope, _line) in self.mutations.items():
+            if r == root and scope == "global" and field in (None, "[]"):
+                return True
+        return False
+
+    # -- reads --------------------------------------------------------
+
+    def eval_name(self, node: ast.Name) -> AbsVal:
+        # Module globals and builtins: setup-determined constants.
+        return CLEAN
+
+    def read_attribute(self, node: ast.Attribute, base: AbsVal) -> AbsVal:
+        if base.ref is SELF_REF:
+            root = node.attr
+            if root in self.model.methods:
+                return CLEAN  # bound method value; calls are inlined
+            sources = self._mutation_taint(root, None, "global")
+            return AbsVal(sources=sources,
+                          ref=_Ref(root, None, "whole"))
+        ref = base.ref
+        if isinstance(ref, _Ref):
+            # Field read on an object rooted at self.<ref.root>.
+            read_scope = "node" if ref.scope == "node" else "global"
+            sources = (base.sources
+                       | self._mutation_taint(ref.root, node.attr,
+                                              read_scope))
+            return AbsVal(sources=sources,
+                          caps=base.caps & frozenset([CAP_NODE]),
+                          ref=_Ref(ref.root, node.attr, ref.scope))
+        return AbsVal(sources=base.sources | base.struct)
+
+    def _element_read(self, base: AbsVal, index: AbsVal) -> AbsVal:
+        ref = base.ref
+        extraction = self._index_scope(index)
+        if CAP_PRIVATE in base.caps:
+            extraction = "node"
+        if isinstance(ref, _Ref) and ref is not SELF_REF:
+            if ref.field is None:
+                read_scope = ("node" if (extraction == "node"
+                                         or ref.scope == "node")
+                              else "global")
+                sources = (base.sources | index.sources
+                           | self._mutation_taint(ref.root, None, "global")
+                           | self._mutation_taint(ref.root, "[]",
+                                                  read_scope))
+                caps = _EMPTY
+                if (read_scope == "node"
+                        and not self._globally_mutated_container(ref.root)):
+                    caps = frozenset([CAP_NODE, CAP_PRIVATE])
+                return AbsVal(sources=sources, caps=caps,
+                              ref=_Ref(ref.root, None, read_scope))
+            # Element of a field container (level.u[i]): the taint was
+            # applied at the field read; keep the ref for deeper stores.
+            return AbsVal(sources=base.sources | index.sources,
+                          ref=ref)
+        out = self.iter_element(base)
+        extra = index.total()
+        if extra:
+            out = out.with_(sources=out.sources | extra)
+        return out
+
+    def read_subscript(self, node: ast.Subscript, base: AbsVal,
+                       index: AbsVal) -> AbsVal:
+        return self._element_read(base, index)
+
+    def iter_element(self, val: AbsVal) -> AbsVal:
+        ref = val.ref
+        if isinstance(ref, _Ref) and ref is not SELF_REF:
+            return self._element_read(val, CLEAN)
+        out = super().iter_element(val)
+        if CAP_PRIVATE in val.caps:
+            out = out.with_(caps=out.caps
+                            | frozenset([CAP_NODE, CAP_PRIVATE]))
+        return out
+
+    # -- stores -------------------------------------------------------
+
+    def store(self, target: ast.expr, value: AbsVal) -> None:
+        lineno = getattr(target, "lineno", 0)
+        if isinstance(target, ast.Attribute):
+            base = self.eval(target.value)
+            ref = base.ref
+            if ref is SELF_REF:
+                self._record(target.attr, None, "global", lineno)
+            elif isinstance(ref, _Ref):
+                scope = "node" if ref.scope == "node" else "global"
+                self._record(ref.root, target.attr, scope, lineno)
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            index = self.eval(target.slice)
+            ref = base.ref
+            if ref is SELF_REF:
+                return
+            if isinstance(ref, _Ref):
+                if ref.field is None and ref.scope == "whole":
+                    # self.X[i] = v
+                    self._record(ref.root, "[]",
+                                 self._index_scope(index), lineno)
+                elif ref.field is None:
+                    # element-of-element store: node-private only if the
+                    # object itself was reached through a node path
+                    scope = "node" if ref.scope == "node" else "global"
+                    self._record(ref.root, "[]", scope, lineno)
+                else:
+                    scope = "node" if ref.scope == "node" else "global"
+                    self._record(ref.root, ref.field, scope, lineno)
+
+    # -- calls --------------------------------------------------------
+
+    def on_method_call(self, node: ast.Call, base: AbsVal,
+                       args: List[AbsVal]) -> Optional[AbsVal]:
+        attr = node.func.attr  # type: ignore[attr-defined]
+        ref = base.ref
+        if ref is SELF_REF:
+            if attr in self.model.methods:
+                return self._inline(self.model.methods[attr], node, args,
+                                    is_method=True)
+            return None  # inherited/unknown self-method: join args
+        if isinstance(ref, _Ref):
+            lineno = getattr(node, "lineno", 0)
+            if attr in _MUTATOR_METHODS:
+                if ref.field is None:
+                    scope = "node" if ref.scope == "node" else "global"
+                    self._record(ref.root, "[]", scope, lineno)
+                else:
+                    scope = "node" if ref.scope == "node" else "global"
+                    self._record(ref.root, ref.field, scope, lineno)
+                if attr in ("pop", "popitem", "setdefault"):
+                    return self._element_read(
+                        base, args[0] if args else CLEAN)
+                return CLEAN
+            if attr in _ELEMENT_READERS:
+                out = self._element_read(base,
+                                         args[0] if args else CLEAN)
+                for default in args[1:]:
+                    out = out.join(default)
+                return out
+            if attr in _WHOLE_READERS:
+                return AbsVal(elem=self._element_read(base, CLEAN),
+                              struct=base.sources)
+            if attr in self.model.helper_reads:
+                # Method on a helper object (Level.active_nodes):
+                # tainted iff it reads a mutated field of that object.
+                read_scope = "node" if ref.scope == "node" else "global"
+                sources = base.sources
+                for field in self.model.helper_reads[attr]:
+                    sources |= self._mutation_taint(ref.root, field,
+                                                    read_scope)
+                for a in args:
+                    sources |= a.total()
+                return AbsVal(sources=sources)
+        return None
+
+    def eval_call(self, node: ast.Call, args: List[AbsVal]) -> AbsVal:
+        func = node.func
+        if isinstance(func, ast.Name):
+            handler = getattr(self, "_builtin_" + func.id, None)
+            if handler is not None:
+                return handler(node, args)
+            target = self.model.module_functions.get(func.id)
+            if target is not None and func.id not in self.env:
+                return self._inline(target, node, args, is_method=False)
+        return super().eval_call(node, args)
+
+    # Builtins with container-shape consequences.  Everything else
+    # falls through to the scalar-join default.
+
+    def _builtin_enumerate(self, node: ast.Call,
+                           args: List[AbsVal]) -> AbsVal:
+        seq = args[0] if args else CLEAN
+        elem = self.iter_element(seq)
+        return AbsVal(elem=AbsVal(elems=(CLEAN, elem)),
+                      struct=seq.struct | seq.sources)
+
+    def _builtin_zip(self, node: ast.Call, args: List[AbsVal]) -> AbsVal:
+        elems = tuple(self.iter_element(a) for a in args)
+        struct = _EMPTY
+        for a in args:
+            struct |= a.struct | a.sources
+        return AbsVal(elem=AbsVal(elems=elems), struct=struct)
+
+    def _builtin_range(self, node: ast.Call,
+                       args: List[AbsVal]) -> AbsVal:
+        struct = _EMPTY
+        for a in args:
+            struct |= a.total()
+        return AbsVal(struct=struct)
+
+    def _builtin_reversed(self, node: ast.Call,
+                          args: List[AbsVal]) -> AbsVal:
+        return args[0] if args else CLEAN
+
+    def _builtin_sorted(self, node: ast.Call,
+                        args: List[AbsVal]) -> AbsVal:
+        # Sorting is an ordering sanitizer for the *taint* pass; for
+        # shard safety the data dependencies are unchanged.
+        seq = args[0] if args else CLEAN
+        return AbsVal(elem=self.iter_element(seq),
+                      struct=seq.struct | seq.sources,
+                      caps=seq.caps)
+
+    _builtin_tuple = _builtin_sorted
+    _builtin_list = _builtin_sorted
+    _builtin_set = _builtin_sorted
+    _builtin_frozenset = _builtin_sorted
+
+    def _builtin_divmod(self, node: ast.Call,
+                        args: List[AbsVal]) -> AbsVal:
+        scalar = self._scalar(*args)
+        return AbsVal(elems=(scalar, scalar))
+
+    # -- inlining -----------------------------------------------------
+
+    def _qualname(self, fn: ast.FunctionDef, is_method: bool) -> str:
+        return (f"{self.model.cls.__name__}.{fn.name}" if is_method
+                else fn.name)
+
+    def _inline(self, fn: ast.FunctionDef, node: ast.Call,
+                args: List[AbsVal], is_method: bool) -> AbsVal:
+        qual = self._qualname(fn, is_method)
+        if qual in self.stack or len(self.stack) >= _MAX_INLINE:
+            # Recursion (AQ's _refine) or runaway depth: use the
+            # summary from the previous fixpoint iteration.
+            return self.summaries.get(qual, AbsVal())
+        sub = _WorkloadInterp(self.model, self.mutations, self.summaries,
+                              self.stack + (qual,), record_yields=False)
+        sub.env = self._bind(fn, args, is_method)
+        sub.run(fn.body)
+        is_generator = any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                           for n in ast.walk(fn)
+                           if not isinstance(n, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef,
+                                                 ast.Lambda)))
+        if is_generator:
+            elem = CLEAN
+            struct = sub.struct_taint
+            for value, control in sub.yielded:
+                elem = elem.join(value)
+                struct |= control
+            result = AbsVal(elem=elem, struct=struct)
+        else:
+            result = AbsVal()
+            for value in sub.returns:
+                result = result.join(value)
+            if sub.struct_taint:
+                result = result.with_(
+                    sources=result.sources | sub.struct_taint)
+        self.summaries[qual] = self.summaries.get(qual,
+                                                  AbsVal()).join(result)
+        return result
+
+    def _bind(self, fn: ast.FunctionDef, args: List[AbsVal],
+              is_method: bool) -> Dict[str, AbsVal]:
+        params = [a.arg for a in fn.args.args]
+        env: Dict[str, AbsVal] = {}
+        values = list(args)
+        if is_method and params and params[0] == "self":
+            env["self"] = AbsVal(ref=SELF_REF)
+            params = params[1:]
+        for name, value in zip(params, values):
+            env[name] = value
+        for name in params[len(values):]:
+            env[name] = CLEAN
+        if fn.args.vararg is not None:
+            env[fn.args.vararg.arg] = CLEAN
+        for kwonly in fn.args.kwonlyargs:
+            env.setdefault(kwonly.arg, CLEAN)
+        return env
+
+    # -- sinks --------------------------------------------------------
+
+    def on_yield(self, node: ast.AST, value: AbsVal) -> None:
+        control = self.control_taint()
+        self.yielded.append((value, control))
+        if not self.record_yields:
+            return
+        lineno = getattr(node, "lineno", 0)
+        val_taint = value.total()
+        if val_taint:
+            self.hazards.append(_Hazard(lineno, "value", val_taint))
+        if control:
+            self.hazards.append(_Hazard(lineno, "control", control))
+
+
+class Inference:
+    """Outcome of analysing one workload class."""
+
+    __slots__ = ("cls", "name", "declared_safe", "inferred_safe",
+                 "hazards", "location", "error")
+
+    def __init__(self, cls: Type, name: str, declared_safe: bool,
+                 inferred_safe: bool, hazards: Tuple[str, ...],
+                 location: str, error: Optional[str] = None) -> None:
+        self.cls = cls
+        self.name = name
+        self.declared_safe = declared_safe
+        self.inferred_safe = inferred_safe
+        self.hazards = hazards
+        self.location = location
+        self.error = error
+
+
+def _relpath(filename: str) -> str:
+    try:
+        rel = os.path.relpath(filename)
+    except ValueError:  # pragma: no cover - cross-drive on Windows
+        return filename
+    return filename if rel.startswith("..") else rel
+
+
+def infer(cls: Type) -> Inference:
+    """Infer shard safety of ``cls`` from its source."""
+    name = getattr(cls, "name", cls.__name__)
+    declared = bool(getattr(cls, "shard_safe", True))
+    try:
+        model = _ClassModel(cls)
+    except (OSError, TypeError, ValueError, SyntaxError) as exc:
+        return Inference(cls, name, declared, declared, (),
+                         location=cls.__name__, error=str(exc))
+    thread = model.methods["thread"]
+    location = f"{_relpath(model.filename)}:{thread.lineno}"
+
+    mutations: Mutations = {}
+    summaries: Dict[str, AbsVal] = {}
+    interp = None
+    for _ in range(6):
+        before_mut = dict(mutations)
+        before_sum = dict(summaries)
+        interp = _WorkloadInterp(model, mutations, summaries, stack=(),
+                                 record_yields=True)
+        interp.env = interp._bind(
+            thread, [CLEAN, AbsVal(caps=frozenset([CAP_NODE]))],
+            is_method=True)
+        interp.run(thread.body)
+        if mutations == before_mut and summaries == before_sum:
+            break
+    assert interp is not None
+
+    hazards: List[str] = []
+    seen = set()
+    for hz in interp.hazards:
+        key = (hz.lineno, hz.kind, hz.sources)
+        if key in seen:
+            continue
+        seen.add(key)
+        what = ("op value depends on" if hz.kind == "value"
+                else "op is yielded under a condition that depends on")
+        hazards.append(f"line {hz.lineno}: {what} "
+                       f"{', '.join(sorted(hz.sources))} "
+                       f"(mutated by thread-reachable code)")
+    if interp.struct_taint:
+        hazards.append(
+            "op stream shape (early loop exit) depends on "
+            + ", ".join(sorted(interp.struct_taint)))
+    return Inference(cls, name, declared, not hazards, tuple(hazards),
+                     location)
+
+
+def _default_workloads() -> List[Type]:
+    """The eight stock workload classes, in name order — the default
+    audit set for :func:`run_shardsafe` (imported lazily so the
+    analysis layer does not load the workloads at import time)."""
+    from repro.workloads.aq import AdaptiveQuadrature
+    from repro.workloads.evolve import Evolve
+    from repro.workloads.mp3d import MP3D
+    from repro.workloads.smgrid import StaticMultigrid
+    from repro.workloads.synthetic import SyntheticSharing
+    from repro.workloads.tsp import TSP
+    from repro.workloads.water import Water
+    from repro.workloads.worker import WorkerBenchmark
+
+    return [AdaptiveQuadrature, Evolve, MP3D, StaticMultigrid,
+            SyntheticSharing, TSP, Water, WorkerBenchmark]
+
+
+DEFAULT_WORKLOADS = _default_workloads
+
+
+def run_shardsafe(classes: Optional[List[Type]] = None) -> Report:
+    """Check declared ``shard_safe`` flags against inference."""
+    if classes is None:
+        classes = _default_workloads()
+    report = Report()
+    report.passes.append("shardsafe")
+    unsafe: List[str] = []
+    conservative: List[str] = []
+    for cls in classes:
+        outcome = infer(cls)
+        if outcome.error is not None:
+            report.findings.append(Finding(
+                analysis="shardsafe",
+                code="SHD90",
+                location=outcome.location,
+                message=(f"workload {outcome.name!r} could not be "
+                         f"analysed: {outcome.error}"),
+            ))
+            continue
+        if not outcome.inferred_safe:
+            unsafe.append(outcome.name)
+        if outcome.declared_safe and not outcome.inferred_safe:
+            report.findings.append(Finding(
+                analysis="shardsafe",
+                code="SHD01",
+                location=outcome.location,
+                message=(f"workload {outcome.name!r} declares "
+                         f"shard_safe=True but its op stream reads "
+                         f"shared mutable state"),
+                trace=outcome.hazards,
+            ))
+        elif not outcome.declared_safe and outcome.inferred_safe:
+            conservative.append(outcome.name)
+    report.stats["shardsafe.workloads"] = len(classes)
+    report.stats["shardsafe.inferred_unsafe"] = sorted(unsafe)
+    report.stats["shardsafe.conservative_declarations"] = sorted(
+        conservative)
+    return report

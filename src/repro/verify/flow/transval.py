@@ -1,0 +1,807 @@
+"""Translation validation for compiled protocol dispatch.
+
+The 17-config runtime fixture proves compiled dispatch equals the
+interpreter *for the traffic those configs generate*.  This pass makes
+the claim total: it parses each generated module
+(:func:`repro.core.protocol.compile.generate_source`), recovers its
+(event, directory-state) → guard-cascade → bound-action structure with
+a fail-closed structural recognizer, and proves it row-for-row
+equivalent to the source :class:`ProtocolTable`:
+
+- the event dispatch covers exactly ``table.events()``, in policy
+  declaration order, with the entry lookup of each event's policy;
+- every (event, state) guard cascade lists exactly the table's live
+  rows for that state, in table order, truncated at the first
+  unguarded row (later rows are dead *for that state* and must be
+  elided), and terminated per the policy's fallback;
+- rows annotated ``unreachable`` are elided everywhere;
+- every backend bind is name-faithful (``m_x = backend.x``) and the
+  bound set is exactly the guards/actions of the live rows;
+- the probe variant differs from the fast variant *only* in probe
+  constructs (observer gate, ``_busy``/``txn`` locals, ``emit`` calls
+  whose :class:`TransitionApplied` payload claims match the row), and
+  the fast variant contains no probe construct at all;
+- on the :mod:`repro.verify.flow.cfg` graph of each handler, every
+  path returns or falls through the terminal ``unknown_event`` call.
+
+The expectations are derived here, independently, from the table and
+:class:`EventPolicy` semantics — the validator shares no emission
+helper with the compiler, so a bug (or a seeded mutation) in either
+side surfaces as a mismatch.  :func:`compile.generation_manifest`'s
+claims are cross-checked against the same derivation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.types import DirState
+from repro.core.protocol.table import ProtocolTable, Transition
+from repro.verify.flow.cfg import build_cfg
+from repro.verify.report import Finding, Report
+
+__all__ = ["validate_source", "run_transval"]
+
+_STATES = tuple(DirState)
+
+
+# ----------------------------------------------------------------------
+# Expected structure, derived from the table alone
+# ----------------------------------------------------------------------
+
+def _live_rows(table: ProtocolTable, event: str) -> List[Transition]:
+    return [r for r in table.rows_for(event) if not r.unreachable]
+
+
+def _truncate(chain: Sequence[Transition]
+              ) -> Tuple[List[Transition], bool]:
+    """Rows up to and including the first unguarded row; True if the
+    cascade is closed by one (every later row is dead)."""
+    out: List[Transition] = []
+    for row in chain:
+        out.append(row)
+        if row.guard is None:
+            return out, True
+    return out, False
+
+
+def _specific_states(rows: Sequence[Transition]) -> List[DirState]:
+    return [s for s in _STATES
+            if any(r.states is not None and s in r.states for r in rows)]
+
+
+def _expected_methods(table: ProtocolTable) -> List[str]:
+    names = {row.guard for event in table.events()
+             for row in _live_rows(table, event) if row.guard is not None}
+    names |= {row.action for event in table.events()
+              for row in _live_rows(table, event)}
+    return sorted(names)
+
+
+class _ChainExpect:
+    """What one guard cascade must look like."""
+
+    __slots__ = ("rows", "closed", "strict", "before", "busy", "after")
+
+    def __init__(self, rows: List[Transition], closed: bool, strict: bool,
+                 before: str, busy: str, after: str) -> None:
+        self.rows = rows
+        self.closed = closed
+        self.strict = strict
+        self.before = before
+        self.busy = busy
+        self.after = after
+
+
+def _expected_chain(rows: Sequence[Transition], strict: bool,
+                    before: str, busy: str, after: str) -> _ChainExpect:
+    live, closed = _truncate(rows)
+    return _ChainExpect(live, closed, strict, before, busy, after)
+
+
+_WILDCARD_BUSY = 'state.transient or getattr(entry, "sw_pending", False)'
+_PENDING_BUSY = 'getattr(entry, "sw_pending", False)'
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+def _dump(node: ast.AST) -> str:
+    return ast.dump(node)
+
+
+def _expr_dump(text: str) -> str:
+    return ast.dump(ast.parse(text, mode="eval").body)
+
+
+def _stmt_dump(text: str) -> str:
+    return "; ".join(ast.dump(s) for s in ast.parse(text).body)
+
+
+def _is_name(node: ast.AST, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _assign_to(stmt: ast.stmt, name: str) -> Optional[ast.expr]:
+    if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and _is_name(stmt.targets[0], name)):
+        return stmt.value
+    return None
+
+
+def _call_of(node: ast.AST, name: str) -> Optional[ast.Call]:
+    if (isinstance(node, ast.Call) and _is_name(node.func, name)
+            and not node.keywords):
+        return node
+    return None
+
+
+def _entry_src_block(call: ast.Call) -> bool:
+    return (len(call.args) == 3 and _is_name(call.args[0], "entry")
+            and _is_name(call.args[1], "src")
+            and _is_name(call.args[2], "block"))
+
+
+def _line(node: ast.AST) -> str:
+    return f"line {getattr(node, 'lineno', '?')}"
+
+
+# ----------------------------------------------------------------------
+# Recognizer: actual structure out of the generated AST
+# ----------------------------------------------------------------------
+
+class _Issues(List[str]):
+    def add(self, message: str) -> None:
+        self.append(message)
+
+
+class _FiredRow:
+    __slots__ = ("guard", "action", "emit")
+
+    def __init__(self, guard: Optional[str], action: str,
+                 emit: Optional[ast.Call]) -> None:
+        self.guard = guard
+        self.action = action
+        self.emit = emit
+
+
+class _FoundChain:
+    __slots__ = ("rows", "terminator", "busy", "no_rule_event")
+
+    def __init__(self) -> None:
+        self.rows: List[_FiredRow] = []
+        #: "closed" | "no_rule" | "return" | "broken"
+        self.terminator = "broken"
+        self.busy: Optional[str] = None
+        self.no_rule_event: Optional[str] = None
+
+
+def _extract_fire(stmts: Sequence[ast.stmt], probe: bool, where: str,
+                  issues: _Issues) -> Tuple[Optional[Tuple[str,
+                                            Optional[ast.Call]]], int]:
+    """Recognize ``m_action(...); [emit(...);] return`` at ``stmts[0]``.
+    Returns ((action, emit-call), consumed) or (None, 0)."""
+    if not stmts or not isinstance(stmts[0], ast.Expr):
+        return None, 0
+    call = stmts[0].value
+    if (not isinstance(call, ast.Call) or not isinstance(call.func, ast.Name)
+            or not call.func.id.startswith("m_")):
+        return None, 0
+    if not _entry_src_block(call) or call.keywords:
+        issues.add(f"{where}: action call {_line(call)} does not take "
+                   f"(entry, src, block)")
+        return None, 0
+    action = call.func.id[2:]
+    consumed = 1
+    emit: Optional[ast.Call] = None
+    if probe:
+        if (len(stmts) > 1 and isinstance(stmts[1], ast.Expr)
+                and _call_of(stmts[1].value, "emit") is not None):
+            emit = _call_of(stmts[1].value, "emit")
+            consumed += 1
+        else:
+            issues.add(f"{where}: action {action!r} fires without an "
+                       f"emit in the probe variant")
+    if (len(stmts) <= consumed
+            or not isinstance(stmts[consumed], ast.Return)
+            or stmts[consumed].value is not None):
+        issues.add(f"{where}: action {action!r} does not return "
+                   f"immediately after firing")
+        return None, 0
+    return (action, emit), consumed + 1
+
+
+def _extract_chain(stmts: Sequence[ast.stmt], probe: bool, where: str,
+                   issues: _Issues) -> _FoundChain:
+    found = _FoundChain()
+    i = 0
+    if probe and stmts:
+        busy = _assign_to(stmts[0], "_busy")
+        if busy is not None:
+            found.busy = _dump(busy)
+            i = 1
+    while i < len(stmts):
+        stmt = stmts[i]
+        # Guarded row: if m_guard(entry, src, block): fire
+        if isinstance(stmt, ast.If):
+            test = stmt.test
+            if (isinstance(test, ast.Call)
+                    and isinstance(test.func, ast.Name)
+                    and test.func.id.startswith("m_")
+                    and _entry_src_block(test)):
+                if stmt.orelse:
+                    issues.add(f"{where}: guard {test.func.id} has an "
+                               f"else branch")
+                    return found
+                fired, consumed = _extract_fire(stmt.body, probe,
+                                                where, issues)
+                if fired is None or consumed != len(stmt.body):
+                    issues.add(f"{where}: unrecognized guard body under "
+                               f"{test.func.id} ({_line(stmt)})")
+                    return found
+                found.rows.append(_FiredRow(test.func.id[2:],
+                                            fired[0], fired[1]))
+                i += 1
+                continue
+            issues.add(f"{where}: unrecognized if-statement "
+                       f"({_line(stmt)})")
+            return found
+        # Unguarded row closes the cascade.
+        fired, consumed = _extract_fire(stmts[i:], probe, where, issues)
+        if fired is not None:
+            found.rows.append(_FiredRow(None, fired[0], fired[1]))
+            found.terminator = "closed"
+            if i + consumed != len(stmts):
+                issues.add(f"{where}: dead statements after the "
+                           f"unguarded row ({_line(stmts[i + consumed])})")
+            return found
+        # no_rule fallback.
+        if isinstance(stmt, ast.Expr):
+            call = _call_of(stmt.value, "no_rule")
+            if call is not None:
+                if (len(call.args) == 4
+                        and isinstance(call.args[0], ast.Constant)
+                        and _is_name(call.args[1], "entry")
+                        and _is_name(call.args[2], "src")
+                        and _is_name(call.args[3], "block")):
+                    found.no_rule_event = call.args[0].value
+                else:
+                    issues.add(f"{where}: malformed no_rule call "
+                               f"({_line(stmt)})")
+                if (i + 1 < len(stmts)
+                        and isinstance(stmts[i + 1], ast.Return)
+                        and stmts[i + 1].value is None
+                        and i + 2 == len(stmts)):
+                    found.terminator = "no_rule"
+                else:
+                    issues.add(f"{where}: no_rule is not followed by a "
+                               f"bare return")
+                return found
+        if (isinstance(stmt, ast.Return) and stmt.value is None
+                and i + 1 == len(stmts)):
+            found.terminator = "return"
+            return found
+        issues.add(f"{where}: unrecognized statement in guard cascade "
+                   f"({_line(stmt)})")
+        return found
+    issues.add(f"{where}: guard cascade falls through without a return")
+    return found
+
+
+# ----------------------------------------------------------------------
+# Chain comparison
+# ----------------------------------------------------------------------
+
+def _render_rows(rows: Sequence[Tuple[Optional[str], str]]) -> str:
+    return "[" + ", ".join(
+        (f"{guard}->{action}" if guard else f"*->{action}")
+        for guard, action in rows) + "]"
+
+
+_EMIT_KEYWORDS = ("node", "at", "event", "src", "block", "before",
+                  "after", "rule", "next_label", "busy", "txn")
+
+
+def _check_emit(emit: ast.Call, event: str, row: Transition,
+                expect: _ChainExpect, where: str, issues: _Issues) -> None:
+    if len(emit.args) != 1:
+        issues.add(f"{where}: emit takes {len(emit.args)} arguments")
+        return
+    payload = emit.args[0]
+    if (not isinstance(payload, ast.Call)
+            or not _is_name(payload.func, "TransitionApplied")
+            or payload.args):
+        issues.add(f"{where}: emit payload is not a keyword-only "
+                   f"TransitionApplied(...) call")
+        return
+    kwargs: Dict[str, ast.expr] = {}
+    names = []
+    for kw in payload.keywords:
+        if kw.arg is None:
+            issues.add(f"{where}: emit payload uses **kwargs")
+            return
+        kwargs[kw.arg] = kw.value
+        names.append(kw.arg)
+    if tuple(names) != _EMIT_KEYWORDS:
+        issues.add(f"{where}: emit payload fields {names} != "
+                   f"{list(_EMIT_KEYWORDS)}")
+        return
+    checks = (
+        ("node", _expr_dump("node_id")),
+        ("at", _expr_dump("sim.now")),
+        ("event", _expr_dump(repr(event))),
+        ("src", _expr_dump("src")),
+        ("block", _expr_dump("block")),
+        ("before", _expr_dump(expect.before)),
+        ("after", _expr_dump(expect.after)),
+        ("rule", _expr_dump(repr(row.action))),
+        ("next_label", _expr_dump(repr(row.next_state))),
+        ("busy", _expr_dump("_busy")),
+        ("txn", _expr_dump("txn")),
+    )
+    for field, expected in checks:
+        if _dump(kwargs[field]) != expected:
+            issues.add(f"{where}: emit claims a wrong {field!r} for "
+                       f"action {row.action!r}")
+
+
+def _check_chain(stmts: Sequence[ast.stmt], expect: _ChainExpect,
+                 event: str, probe: bool, where: str,
+                 issues: _Issues) -> None:
+    before = len(issues)
+    found = _extract_chain(stmts, probe, where, issues)
+    if len(issues) > before:
+        return  # unrecognized construct: already fail-closed
+    exp_rows = [(r.guard, r.action) for r in expect.rows]
+    got_rows = [(r.guard, r.action) for r in found.rows]
+    if exp_rows != got_rows:
+        issues.add(f"{where}: guard cascade {_render_rows(got_rows)} "
+                   f"!= table rows {_render_rows(exp_rows)}")
+        return
+    expected_term = ("closed" if expect.closed
+                     else "no_rule" if expect.strict else "return")
+    if found.terminator != expected_term:
+        issues.add(f"{where}: cascade terminates with "
+                   f"{found.terminator!r}, table requires "
+                   f"{expected_term!r}")
+    if expected_term == "no_rule" and found.no_rule_event != event:
+        issues.add(f"{where}: no_rule reports event "
+                   f"{found.no_rule_event!r} instead of {event!r}")
+    if probe:
+        if expect.rows:
+            if found.busy is None:
+                issues.add(f"{where}: probe cascade never computes _busy")
+            elif found.busy != _expr_dump(expect.busy):
+                issues.add(f"{where}: _busy is not {expect.busy!r}")
+        elif found.busy is not None:
+            issues.add(f"{where}: _busy computed for an empty cascade")
+        for row, fired in zip(expect.rows, found.rows):
+            if fired.emit is not None:
+                _check_emit(fired.emit, event, row, expect, where, issues)
+    else:
+        if found.busy is not None:
+            issues.add(f"{where}: probe-off variant computes _busy")
+        for fired in found.rows:
+            if fired.emit is not None:
+                issues.add(f"{where}: probe-off variant emits")
+
+
+# ----------------------------------------------------------------------
+# Event and handler recognition
+# ----------------------------------------------------------------------
+
+def _split_elif(top: ast.If, test_of) -> Tuple[List[Tuple[object,
+                                               List[ast.stmt]]],
+                                               List[ast.stmt],
+                                               Optional[str]]:
+    """Flatten an if/elif/.../else ladder.  ``test_of`` maps a test
+    expression to a key or None (unrecognized).  Returns (arms, else
+    body, error)."""
+    arms: List[Tuple[object, List[ast.stmt]]] = []
+    node: ast.stmt = top
+    while isinstance(node, ast.If):
+        key = test_of(node.test)
+        if key is None:
+            return arms, [], f"unrecognized branch test at {_line(node)}"
+        arms.append((key, node.body))
+        orelse = node.orelse
+        if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+            node = orelse[0]
+            continue
+        return arms, orelse, None
+    return arms, [], "empty ladder"
+
+
+def _event_test(test: ast.expr) -> Optional[str]:
+    if (isinstance(test, ast.Compare) and _is_name(test.left, "kind")
+            and len(test.ops) == 1 and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.comparators[0], ast.Constant)):
+        return test.comparators[0].value
+    return None
+
+
+def _state_test(test: ast.expr) -> Optional[str]:
+    if (isinstance(test, ast.Compare) and _is_name(test.left, "state")
+            and len(test.ops) == 1 and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Name)
+            and test.comparators[0].id.startswith("S_")):
+        return test.comparators[0].id[2:]
+    return None
+
+
+def _check_event(table: ProtocolTable, event: str,
+                 body: List[ast.stmt], probe: bool, where: str,
+                 issues: _Issues) -> None:
+    policy = table.policies[event]
+    rows = _live_rows(table, event)
+    strict = policy.fallback == "error"
+    wildcard = [r for r in rows if r.states is None]
+    i = 0
+    if policy.lookup == "create":
+        if not (i < len(body)
+                and _dump(body[i]) == _stmt_dump("entry = entry_for(block)")):
+            issues.add(f"{where}: 'create' policy must look up via "
+                       f"entry_for(block)")
+            return
+        i += 1
+    else:
+        if not (i < len(body) and _dump(body[i])
+                == _stmt_dump("entry = entries_get(block)")):
+            issues.add(f"{where}: 'get' policy must look up via "
+                       f"entries.get(block)")
+            return
+        i += 1
+        if not (i < len(body) and isinstance(body[i], ast.If)
+                and _dump(body[i].test) == _expr_dump("entry is None")
+                and not body[i].orelse):
+            issues.add(f"{where}: 'get' policy must handle a missing "
+                       f"entry")
+            return
+        _check_chain(body[i].body,
+                     _expected_chain(wildcard, strict, before="None",
+                                     busy="False", after="None"),
+                     event, probe, f"{where}, missing entry", issues)
+        i += 1
+    if not (i < len(body)
+            and _dump(body[i]) == _stmt_dump("state = entry.state")):
+        issues.add(f"{where}: expected 'state = entry.state'")
+        return
+    i += 1
+    rest = body[i:]
+
+    specific = _specific_states(rows)
+    after = "entry.state.value"
+    if not specific:
+        _check_chain(rest,
+                     _expected_chain(wildcard, strict, before="state.value",
+                                     busy=_WILDCARD_BUSY, after=after),
+                     event, probe, f"{where}, any state", issues)
+        return
+    if len(rest) != 1 or not isinstance(rest[0], ast.If):
+        issues.add(f"{where}: expected a state-dispatch ladder")
+        return
+    arms, orelse, error = _split_elif(rest[0], _state_test)
+    if error is not None:
+        issues.add(f"{where}: {error}")
+        return
+    expected_arms = [s.name for s in specific]
+    got_arms = [key for key, _ in arms]
+    if got_arms != expected_arms:
+        issues.add(f"{where}: state arms {got_arms} != states with "
+                   f"specific rows {expected_arms} (DirState order)")
+        return
+    for state, (_, arm_body) in zip(specific, arms):
+        chain = [r for r in rows
+                 if r.states is None or state in r.states]
+        busy = "True" if state.transient else _PENDING_BUSY
+        _check_chain(arm_body,
+                     _expected_chain(chain, strict,
+                                     before=repr(state.value), busy=busy,
+                                     after=after),
+                     event, probe, f"{where}, state {state.name}", issues)
+    if not orelse:
+        issues.add(f"{where}: missing wildcard else-arm")
+        return
+    _check_chain(orelse,
+                 _expected_chain(wildcard, strict, before="state.value",
+                                 busy=_WILDCARD_BUSY, after=after),
+                 event, probe, f"{where}, other states", issues)
+
+
+_FAST_PRELUDE = ("kind = message.kind", "src = message.src",
+                 "payload = message.payload", "block = payload.block")
+
+_PROBE_GATE = ("if obs is None or not obs.on_transition:\n"
+               "    handle_fast(message)\n"
+               "    return")
+
+
+def _check_handler(table: ProtocolTable, fn: ast.FunctionDef,
+                   probe: bool, issues: _Issues) -> None:
+    where = fn.name
+    body = list(fn.body)
+    prelude = list(_FAST_PRELUDE)
+    if probe:
+        prelude = (["obs = machine.obs", _PROBE_GATE,
+                    "emit = obs.transition"]
+                   + prelude + ["txn = payload.txn"])
+    if len(body) < len(prelude) + 1:
+        issues.add(f"{where}: handler body too short")
+        return
+    for expected, stmt in zip(prelude, body):
+        if _dump(stmt) != _stmt_dump(expected):
+            issues.add(f"{where}: expected {expected.splitlines()[0]!r} "
+                       f"at {_line(stmt)}")
+            return
+    rest = body[len(prelude):]
+    if len(rest) != 1 or not isinstance(rest[0], ast.If):
+        issues.add(f"{where}: expected a single event-dispatch ladder")
+        return
+    arms, orelse, error = _split_elif(rest[0], _event_test)
+    if error is not None:
+        issues.add(f"{where}: {error}")
+        return
+    expected_events = list(table.events())
+    got_events = [key for key, _ in arms]
+    if got_events != expected_events:
+        issues.add(f"{where}: dispatched events {got_events} != "
+                   f"table events {expected_events} (policy order)")
+        return
+    if (len(orelse) != 1
+            or _dump(orelse[0]) != _stmt_dump("unknown_event(kind)")):
+        issues.add(f"{where}: terminal else must call "
+                   f"unknown_event(kind)")
+    for event, event_body in arms:
+        _check_event(table, event, event_body, probe,
+                     f"{where}, event {event!r}", issues)
+    _check_termination(fn, issues)
+
+
+def _check_termination(fn: ast.FunctionDef, issues: _Issues) -> None:
+    """CFG check: every path returns, except the single fall-through
+    after the terminal unknown_event call."""
+    cfg = build_cfg(fn)
+    fallthrough: List[int] = []
+    for bid in cfg.block(cfg.exit).preds:
+        block = cfg.block(bid)
+        last = block.units[-1].node if block.units else None
+        if isinstance(last, (ast.Return, ast.Raise)):
+            continue
+        fallthrough.append(bid)
+    for bid in fallthrough:
+        # Walk back through empty join blocks to the statements that
+        # actually fall through; they must be the unknown_event call.
+        frontier = [bid]
+        seen = set()
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            block = cfg.block(cur)
+            if not block.units:
+                frontier.extend(block.preds)
+                continue
+            last = block.units[-1].node
+            if (isinstance(last, ast.Expr)
+                    and _call_of(last.value, "unknown_event") is not None):
+                continue
+            issues.add(f"{fn.name}: a path falls off the handler "
+                       f"without returning ({_line(last)})")
+
+
+# ----------------------------------------------------------------------
+# Probe-variant stripping
+# ----------------------------------------------------------------------
+
+def _is_probe_stmt(stmt: ast.stmt) -> bool:
+    for name in ("obs", "emit", "txn", "_busy"):
+        if _assign_to(stmt, name) is not None:
+            return True
+    if (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            and _is_name(stmt.value.func, "emit")):
+        return True
+    if (isinstance(stmt, ast.If) and stmt.body
+            and isinstance(stmt.body[0], ast.Expr)
+            and _call_of(stmt.body[0].value, "handle_fast") is not None):
+        return True
+    return False
+
+
+def _strip_probe(stmts: Sequence[ast.stmt]) -> List[str]:
+    """Dump of ``stmts`` minus probe constructs, recursively."""
+    out: List[str] = []
+    for stmt in stmts:
+        if _is_probe_stmt(stmt):
+            continue
+        if isinstance(stmt, ast.If):
+            out.append("if " + _dump(stmt.test))
+            out.append("then")
+            out.extend(_strip_probe(stmt.body))
+            out.append("else")
+            out.extend(_strip_probe(stmt.orelse))
+            out.append("end")
+            continue
+        out.append(_dump(stmt))
+    return out
+
+
+def _check_probe_delta(fast: ast.FunctionDef, probe: ast.FunctionDef,
+                       issues: _Issues) -> None:
+    stripped = _strip_probe(probe.body)
+    baseline = _strip_probe(fast.body)
+    if stripped != baseline:
+        for a, b in zip(baseline, stripped):
+            if a != b:
+                break
+        issues.add("handle_probe differs from handle_fast beyond probe "
+                   "constructs (observer gate, _busy/txn locals, emit "
+                   "calls)")
+
+
+def _check_fast_purity(fast: ast.FunctionDef, issues: _Issues) -> None:
+    banned = {"obs", "emit", "txn", "_busy", "TransitionApplied"}
+    for node in ast.walk(fast):
+        if isinstance(node, ast.Name) and node.id in banned:
+            issues.add(f"handle_fast: probe construct {node.id!r} in the "
+                       f"probe-off variant ({_line(node)})")
+            return
+
+
+# ----------------------------------------------------------------------
+# Module-level recognition
+# ----------------------------------------------------------------------
+
+def validate_source(table: ProtocolTable, source: str) -> List[str]:
+    """Prove ``source`` row-for-row equivalent to ``table``.
+
+    Returns a list of human-readable issues; empty means the generated
+    module is structurally equivalent to the table.  The recognizer is
+    fail-closed: any construct it cannot account for is an issue.
+    """
+    from repro.core.protocol.compile import GENERATED_HEADER
+
+    issues = _Issues()
+    if not source.startswith(GENERATED_HEADER):
+        issues.add("generated module is missing the "
+                   "generated-by(compile) header")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        issues.add(f"generated module does not parse: {exc}")
+        return list(issues)
+
+    body = list(tree.body)
+    for state in _STATES:
+        if not body or _dump(body[0]) != _stmt_dump(
+                f"S_{state.name} = DirState.{state.name}"):
+            issues.add(f"missing state prelude S_{state.name} = "
+                       f"DirState.{state.name}")
+            return list(issues)
+        body.pop(0)
+    if not (len(body) == 1 and isinstance(body[0], ast.FunctionDef)
+            and body[0].name == "bind"):
+        issues.add("module must define exactly bind() after the state "
+                   "prelude")
+        return list(issues)
+    bind = body[0]
+    params = [a.arg for a in bind.args.args]
+    if params != ["backend", "node", "TransitionApplied"]:
+        issues.add(f"bind() signature {params} != "
+                   f"['backend', 'node', 'TransitionApplied']")
+
+    stmts = list(bind.body)
+    for expected in ("entry_for = backend.entry_for",
+                     "entries_get = backend.entries.get",
+                     "no_rule = backend.no_rule",
+                     "unknown_event = backend.unknown_event"):
+        if not stmts or _dump(stmts[0]) != _stmt_dump(expected):
+            issues.add(f"bind() prelude is missing {expected!r}")
+            return list(issues)
+        stmts.pop(0)
+    binds: List[Tuple[str, str]] = []
+    while stmts:
+        stmt = stmts[0]
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id.startswith("m_")):
+            value = stmt.value
+            if (isinstance(value, ast.Attribute)
+                    and _is_name(value.value, "backend")):
+                binds.append((stmt.targets[0].id, value.attr))
+                stmts.pop(0)
+                continue
+            issues.add(f"method bind at {_line(stmt)} does not read an "
+                       f"attribute of the backend")
+            return list(issues)
+        break
+    expected_binds = [(f"m_{name}", name)
+                      for name in _expected_methods(table)]
+    if binds != expected_binds:
+        for (got_m, got_attr), (exp_m, exp_attr) in zip(binds,
+                                                        expected_binds):
+            if (got_m, got_attr) != (exp_m, exp_attr):
+                issues.add(f"backend bind {got_m} = backend.{got_attr} "
+                           f"!= expected {exp_m} = backend.{exp_attr}")
+                break
+        else:
+            got = [m for m, _ in binds]
+            exp = [m for m, _ in expected_binds]
+            issues.add(f"bound methods {got} != live-row guard/action "
+                       f"set {exp} (sorted)")
+        return list(issues)
+    for got_m, got_attr in binds:
+        if got_m != f"m_{got_attr}":
+            issues.add(f"backend bind {got_m} = backend.{got_attr} is "
+                       f"not name-faithful")
+
+    for expected in ("machine = node.machine", "sim = machine.sim",
+                     "node_id = node.id"):
+        if not stmts or _dump(stmts[0]) != _stmt_dump(expected):
+            issues.add(f"bind() prelude is missing {expected!r}")
+            return list(issues)
+        stmts.pop(0)
+
+    if not (len(stmts) == 3
+            and isinstance(stmts[0], ast.FunctionDef)
+            and stmts[0].name == "handle_fast"
+            and isinstance(stmts[1], ast.FunctionDef)
+            and stmts[1].name == "handle_probe"
+            and _dump(stmts[2]) == _stmt_dump(
+                "return handle_fast, handle_probe")):
+        issues.add("bind() must define handle_fast and handle_probe and "
+                   "return the pair")
+        return list(issues)
+    fast, probe = stmts[0], stmts[1]
+
+    _check_fast_purity(fast, issues)
+    _check_handler(table, fast, probe=False, issues=issues)
+    _check_handler(table, probe, probe=True, issues=issues)
+    _check_probe_delta(fast, probe, issues)
+    return list(issues)
+
+
+# ----------------------------------------------------------------------
+# The check pass
+# ----------------------------------------------------------------------
+
+def run_transval(tables: Optional[List[ProtocolTable]] = None) -> Report:
+    """Validate every builtin table's generated module (both variants)."""
+    from repro.core.protocol import compile as compmod
+
+    if tables is None:
+        tables = list(compmod.ensure_builtin_tables_compiled())
+    report = Report()
+    report.passes.append("transval")
+    registry = compmod.generated_sources()
+    rows = 0
+    elided = 0
+    for table in tables:
+        filename = compmod.generated_filename(table)
+        source = registry.get(filename)
+        if source is None:
+            source = compmod.generate_source(table)
+        manifest = compmod.generation_manifest(table)
+        for event in table.events():
+            live = _live_rows(table, event)
+            rows += len(live)
+            claimed = [r["action"]
+                       for r in manifest["events"][event]["rows"]]
+            if claimed != [r.action for r in live]:
+                report.findings.append(Finding(
+                    analysis="transval", code="TV02", location=filename,
+                    message=(f"generation manifest for event {event!r} "
+                             f"disagrees with the table's live rows"),
+                ))
+        elided += len(manifest["elided_rows"])
+        for issue in validate_source(table, source):
+            report.findings.append(Finding(
+                analysis="transval", code="TV01",
+                location=filename, message=issue,
+            ))
+    report.stats["transval.tables"] = len(tables)
+    report.stats["transval.rows"] = rows
+    report.stats["transval.elided_rows"] = elided
+    return report

@@ -419,6 +419,7 @@ def run_lint(root: Optional[str] = None) -> Report:
         root = os.path.dirname(os.path.abspath(repro.__file__))
     rel_root = os.path.dirname(os.path.dirname(root))
     report = Report()
+    report.passes.append("lint")
     report.findings.extend(lint_tree(root, rel_to=rel_root))
     generated, n_generated = lint_generated_sources()
     report.findings.extend(generated)

@@ -348,6 +348,7 @@ def run_model_check(configs: Optional[Sequence[ModelConfig]] = None,
     if configs is None:
         configs = default_configs()
     report = Report()
+    report.passes.append("modelcheck")
     tables: List[ProtocolTable] = []
     for cfg in configs:
         if cfg.table not in tables:

@@ -13,12 +13,17 @@ import dataclasses
 import json
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Finding", "Report", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_ERROR"]
+__all__ = ["Finding", "Report", "SCHEMA",
+           "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_ERROR"]
 
 #: ``repro check`` exit codes (also the CI contract).
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
+
+#: Version tag of the ``repro check --json`` document.  Consumers pin
+#: on this; any field removal or meaning change bumps the suffix.
+SCHEMA = "repro-check/1"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,10 +62,14 @@ class Report:
 
     findings: List[Finding] = dataclasses.field(default_factory=list)
     stats: Dict[str, object] = dataclasses.field(default_factory=dict)
+    passes: List[str] = dataclasses.field(default_factory=list)
 
     def extend(self, other: "Report") -> None:
         self.findings.extend(other.findings)
         self.stats.update(other.stats)
+        for name in other.passes:
+            if name not in self.passes:
+                self.passes.append(name)
 
     @property
     def clean(self) -> bool:
@@ -72,7 +81,10 @@ class Report:
 
     def to_json(self) -> Dict[str, object]:
         return {
+            "schema": SCHEMA,
             "clean": self.clean,
+            "exit_code": self.exit_code,
+            "passes": list(self.passes),
             "findings": [f.to_json() for f in self.findings],
             "stats": self.stats,
         }

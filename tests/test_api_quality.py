@@ -77,6 +77,12 @@ MODULES = [
     "repro.sim.windows",
     "repro.verify",
     "repro.verify.abstract",
+    "repro.verify.flow",
+    "repro.verify.flow.absint",
+    "repro.verify.flow.cfg",
+    "repro.verify.flow.shardsafe",
+    "repro.verify.flow.taint",
+    "repro.verify.flow.transval",
     "repro.verify.lint",
     "repro.verify.modelcheck",
     "repro.verify.report",

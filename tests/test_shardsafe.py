@@ -1,0 +1,165 @@
+"""Shard-safety inference (repro.verify.flow.shardsafe).
+
+The contract under test: ``infer`` must reproduce the hand-audited
+``shard_safe`` matrix for the eight stock workloads (EVOLVE unsafe,
+everything else safe), flag a workload that launders shared mutable
+state through a helper method, and stay quiet on node-private state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.verify.flow.shardsafe import (DEFAULT_WORKLOADS, infer,
+                                         run_shardsafe)
+from repro.workloads.base import Op, Workload
+
+WORKLOADS = DEFAULT_WORKLOADS()
+
+#: the hand-audited ground truth the analysis must reproduce
+EXPECTED_SAFE = {
+    "aq": True,
+    "evolve": False,
+    "mp3d": True,
+    "smgrid": True,
+    "synthetic": True,
+    "tsp": True,
+    "water": True,
+    "worker": True,
+}
+
+
+# ----------------------------------------------------------------------
+# Inferred-vs-declared matrix over the stock workloads
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("cls", WORKLOADS,
+                         ids=[c.name for c in WORKLOADS])
+def test_matrix_matches_declared_flag(cls):
+    outcome = infer(cls)
+    assert outcome.error is None
+    assert outcome.inferred_safe == EXPECTED_SAFE[cls.name]
+    assert outcome.declared_safe == cls.shard_safe
+    # The matrix and the declarations agree, so no workload is
+    # "declared safe but inferred unsafe".
+    assert outcome.inferred_safe == outcome.declared_safe
+
+
+def test_evolve_hazard_is_the_visit_counter_cadence():
+    """EVOLVE is unsafe *because* op presence depends on a shared
+    counter — the finding must name the counter and the condition."""
+    outcome = infer(next(c for c in WORKLOADS if c.name == "evolve"))
+    assert not outcome.inferred_safe
+    assert any("condition" in h and "self.steps" in h
+               for h in outcome.hazards)
+
+
+def test_water_tuple_precision_keeps_publish_ops_clean():
+    """WATER appends (index, fx, fy) tuples whose force components are
+    legitimately coupled across nodes; the analysis must keep the
+    *index* element clean so the publish writes stay node-local."""
+    outcome = infer(next(c for c in WORKLOADS if c.name == "water"))
+    assert outcome.inferred_safe, outcome.hazards
+
+
+def test_aq_recursive_refinement_is_safe():
+    """AQ's _refine recurses; the summary fixpoint must converge to
+    'safe' rather than erroring or over-tainting."""
+    outcome = infer(next(c for c in WORKLOADS if c.name == "aq"))
+    assert outcome.error is None
+    assert outcome.inferred_safe, outcome.hazards
+
+
+# ----------------------------------------------------------------------
+# Laundering through a helper method must be flagged
+# ----------------------------------------------------------------------
+
+class LaunderingWorkload(Workload):
+    """Declares shard_safe but routes a shared counter through a
+    helper method into a yielded address — the exact evasion the
+    per-statement audit could miss."""
+
+    name = "launder-fixture"
+    shard_safe = True  # wrong on purpose; the analysis must say so
+
+    def setup(self, machine) -> None:
+        self.hot = 1
+        self.addrs = [0] * 64
+
+    def _spice(self) -> int:
+        return self.hot * 3
+
+    def thread(self, machine, node_id: int) -> Iterator[Op]:
+        for i in range(8):
+            self.hot += i
+            yield ("read", self.addrs[self._spice() % 64])
+
+
+class NodePrivateWorkload(Workload):
+    """Same shape as the laundering fixture, but the helper reads
+    node-private state — must stay clean (no false positive)."""
+
+    name = "private-fixture"
+    shard_safe = True
+
+    def setup(self, machine) -> None:
+        self.cursors = [0] * machine.params.n_nodes
+        self.addrs = [0] * 64
+
+    def _spice(self, node_id: int) -> int:
+        return self.cursors[node_id] * 3
+
+    def thread(self, machine, node_id: int) -> Iterator[Op]:
+        for i in range(8):
+            self.cursors[node_id] += i
+            yield ("read", self.addrs[self._spice(node_id) % 64])
+
+
+def test_laundering_through_helper_is_flagged():
+    outcome = infer(LaunderingWorkload)
+    assert outcome.error is None
+    assert not outcome.inferred_safe
+    assert any("self.hot" in h for h in outcome.hazards)
+
+
+def test_laundering_fixture_produces_shd01_finding():
+    report = run_shardsafe([LaunderingWorkload])
+    assert not report.clean
+    (finding,) = report.findings
+    assert finding.analysis == "shardsafe"
+    assert finding.code == "SHD01"
+    assert "launder-fixture" in finding.message
+    assert finding.trace  # the hazard lines ride along as the witness
+
+
+def test_node_private_helper_is_not_flagged():
+    outcome = infer(NodePrivateWorkload)
+    assert outcome.error is None
+    assert outcome.inferred_safe, outcome.hazards
+
+
+# ----------------------------------------------------------------------
+# run_shardsafe: report shape
+# ----------------------------------------------------------------------
+
+def test_default_run_is_clean_with_expected_stats():
+    report = run_shardsafe()
+    assert report.clean
+    assert report.passes == ["shardsafe"]
+    assert report.stats["shardsafe.workloads"] == 8
+    assert report.stats["shardsafe.inferred_unsafe"] == ["evolve"]
+    assert report.stats["shardsafe.conservative_declarations"] == []
+
+
+def test_unanalysable_class_is_an_error_finding():
+    ghost = type("GhostWorkload", (Workload,), {
+        "name": "ghost",
+        "setup": lambda self, machine: None,
+        "thread": lambda self, machine, node_id: iter(()),
+    })
+    report = run_shardsafe([ghost])
+    assert not report.clean
+    (finding,) = report.findings
+    assert finding.code == "SHD90"

@@ -1,0 +1,199 @@
+"""Translation validation (repro.verify.flow.transval).
+
+Two families of tests: the validator proves both builtin tables'
+generated modules clean (probe-on and probe-off), and ≥6 seeded
+mutations of the generated source — each a realistic compiler bug —
+are all caught with an issue naming the right construct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol.compile import (ensure_builtin_tables_compiled,
+                                         generate_source,
+                                         generated_filename,
+                                         generated_sources,
+                                         generation_manifest)
+from repro.core.protocol.table import HARDWARE_TABLE, SOFTWARE_ONLY_TABLE
+from repro.verify.flow.transval import run_transval, validate_source
+
+TABLES = (HARDWARE_TABLE, SOFTWARE_ONLY_TABLE)
+
+
+# ----------------------------------------------------------------------
+# The real generated modules are provably equivalent to their tables
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("table", TABLES, ids=[t.name for t in TABLES])
+def test_generated_module_validates_clean(table):
+    assert validate_source(table, generate_source(table)) == []
+
+
+def test_run_transval_is_clean_over_the_registry():
+    report = run_transval()
+    assert report.clean
+    assert report.passes == ["transval"]
+    assert report.stats["transval.tables"] == 2
+    assert report.stats["transval.rows"] > 0
+    # Both tables carry defensive ``unreachable`` rows; the validator
+    # proves they were elided, so the count must be positive.
+    assert report.stats["transval.elided_rows"] > 0
+
+
+def test_ensure_builtin_tables_compiled_populates_registry():
+    tables = ensure_builtin_tables_compiled()
+    registry = generated_sources()
+    for table in tables:
+        assert generated_filename(table) in registry
+
+
+def test_cross_table_source_is_rejected():
+    """The software-only module is not a valid hardware module."""
+    issues = validate_source(HARDWARE_TABLE,
+                             generate_source(SOFTWARE_ONLY_TABLE))
+    assert issues
+
+
+# ----------------------------------------------------------------------
+# Seeded mutations: every corruption mode must be caught
+# ----------------------------------------------------------------------
+
+def _swap_once(source: str, a: str, b: str) -> str:
+    assert a in source and b in source
+    return (source.replace(a, "\x00", 1)
+            .replace(b, a, 1)
+            .replace("\x00", b, 1))
+
+
+def _replace_once(source: str, old: str, new: str) -> str:
+    assert old in source, f"mutation anchor missing: {old!r}"
+    return source.replace(old, new, 1)
+
+
+def _mutate_reordered_guards(source: str) -> str:
+    # rreq/READ_ONLY evaluates reader_fits before broadcast_mode; a
+    # compiler that reorders them changes which action fires.
+    return _swap_once(source,
+                      "if m_reader_fits(entry, src, block):",
+                      "if m_broadcast_mode(entry, src, block):")
+
+
+def _mutate_dropped_row(source: str) -> str:
+    # Drop the unguarded read_overflow row that closes rreq/READ_ONLY.
+    return _replace_once(
+        source,
+        "                m_read_overflow(entry, src, block)\n"
+        "                return",
+        "                return")
+
+
+def _mutate_wrong_backend_bind(source: str) -> str:
+    return _replace_once(source,
+                         "    m_busy = backend.busy",
+                         "    m_busy = backend.reader_fits")
+
+
+def _mutate_unelied_unreachable_row(source: str) -> str:
+    # Re-insert the model-checker-proven-unreachable defensive row
+    # (rreq/READ_WRITE from_owner -> reply_busy) the compiler must elide.
+    anchor = "                if m_migratory_block(entry, src, block):"
+    inserted = ("                if m_from_owner(entry, src, block):\n"
+                "                    m_reply_busy(entry, src, block)\n"
+                "                    return\n")
+    return _replace_once(source, anchor, inserted + anchor)
+
+
+def _mutate_probe_call_in_fast_variant(source: str) -> str:
+    # The first occurrence is inside handle_fast (emitted first).
+    return _replace_once(
+        source,
+        "                m_read_absent(entry, src, block)\n"
+        "                return",
+        "                m_read_absent(entry, src, block)\n"
+        "                emit(TransitionApplied(node=node_id, at=sim.now,"
+        " event='rreq', src=src, block=block, before='absent',"
+        " after=entry.state.value, rule='read_absent',"
+        " next_label='read_only', busy=False, txn=None))\n"
+        "                return")
+
+
+def _mutate_swapped_state_arm(source: str) -> str:
+    return _swap_once(source, "state is S_ABSENT", "state is S_READ_ONLY")
+
+
+def _mutate_wrong_emit_rule(source: str) -> str:
+    return _replace_once(source, "rule='read_absent'",
+                         "rule='read_record'")
+
+
+def _mutate_dropped_no_rule(source: str) -> str:
+    # 'ack' is a strict get-policy with no wildcard rows: a missing
+    # entry must raise via no_rule, not be silently dropped.
+    return _replace_once(
+        source,
+        "                no_rule('ack', entry, src, block)\n"
+        "                return",
+        "                return")
+
+
+MUTATIONS = [
+    (_mutate_reordered_guards, "guard cascade"),
+    (_mutate_dropped_row, "guard cascade"),
+    (_mutate_wrong_backend_bind, "backend bind"),
+    (_mutate_unelied_unreachable_row, "guard cascade"),
+    (_mutate_probe_call_in_fast_variant, "probe"),
+    (_mutate_swapped_state_arm, "state arms"),
+    (_mutate_wrong_emit_rule, "emit claims a wrong 'rule'"),
+    (_mutate_dropped_no_rule, "terminates with"),
+]
+
+
+@pytest.mark.parametrize("mutate,keyword", MUTATIONS,
+                         ids=[m.__name__ for m, _ in MUTATIONS])
+def test_seeded_mutation_is_caught(mutate, keyword):
+    source = generate_source(HARDWARE_TABLE)
+    mutated = mutate(source)
+    assert mutated != source
+    issues = validate_source(HARDWARE_TABLE, mutated)
+    assert issues, f"{mutate.__name__} survived validation"
+    assert any(keyword in issue for issue in issues), issues
+
+
+def test_mutated_source_in_registry_fails_the_pass(monkeypatch):
+    """run_transval validates what was actually registered, so a stale
+    or corrupted registry entry is a finding, not a silent pass."""
+    import repro.core.protocol.compile as compmod
+
+    ensure_builtin_tables_compiled()
+    registry = generated_sources()
+    filename = generated_filename(HARDWARE_TABLE)
+    registry[filename] = _mutate_dropped_row(registry[filename])
+    monkeypatch.setattr(compmod, "generated_sources", lambda: registry)
+    report = run_transval()
+    assert not report.clean
+    assert all(f.analysis == "transval" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# Generation manifest
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("table", TABLES, ids=[t.name for t in TABLES])
+def test_manifest_matches_table(table):
+    manifest = generation_manifest(table)
+    assert manifest["table"] == table.name
+    assert list(manifest["events"]) == list(table.events())
+    live_actions = {
+        event: [r.action for r in table.rows_for(event)
+                if not r.unreachable]
+        for event in table.events()
+    }
+    for event, claims in manifest["events"].items():
+        assert [r["action"] for r in claims["rows"]] == live_actions[event]
+    for elided in manifest["elided_rows"]:
+        row = table.rows_for(elided["event"])[elided["index"]]
+        assert row.unreachable
+        assert row.action == elided["action"]
+    # Every bound method is a live guard or action, sorted.
+    assert manifest["bound_methods"] == sorted(manifest["bound_methods"])
