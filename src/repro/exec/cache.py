@@ -122,8 +122,17 @@ class ResultCache:
     def put(self, job: SimJob, stats: RunStats) -> str:
         """Store ``stats`` for ``job``; returns the file path.
 
-        The write is atomic (temp file + rename) so a concurrent reader
-        never observes a partial entry.
+        Concurrency-safe by compare-and-swap: the entry is staged in a
+        temp file, then *linked* into place — an atomic create-if-absent,
+        so when several writers race the same key (two ``repro serve``
+        clients submitting one spec, a server and a CLI sharing a cache
+        dir) exactly one publishes and the rest discard their staging
+        file.  First-writer-wins is correct here because the simulator
+        is deterministic: every racer is holding the same bytes.  A
+        pre-existing *unreadable* entry (interrupted write by an older,
+        non-atomic writer) is replaced via atomic rename instead, as is
+        the whole entry on filesystems without hard links.  A concurrent
+        reader therefore only ever sees a complete entry.
         """
         path = self.path_for(job)
         directory = os.path.dirname(path)
@@ -137,16 +146,31 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
-            os.replace(tmp_path, path)
-        except BaseException:
+            try:
+                os.link(tmp_path, path)
+            except FileExistsError:
+                if not self._readable(path):
+                    os.replace(tmp_path, path)
+            except OSError:
+                os.replace(tmp_path, path)
+        finally:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
-            raise
         self.stores += 1
         self._emit("put", job)
         return path
+
+    @staticmethod
+    def _readable(path: str) -> bool:
+        """True when ``path`` holds a parseable cache entry."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                json.load(fh)
+            return True
+        except (OSError, ValueError):
+            return False
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -57,6 +57,11 @@ class SimJob:
     #: dimension is only *added* to the canonical form when enabled, so
     #: every pre-existing cache entry keeps its key.
     attribution: bool = False
+    #: Write-invalidation strategy (see Machine: "parallel",
+    #: "sequential", or "dynamic").  A spec dimension — it changes
+    #: simulated cycle counts — added to the canonical form only when
+    #: non-default, preserving every historical key, like attribution.
+    invalidation_mode: str = "parallel"
 
     def build_workload(self) -> Workload:
         return self.workload_cls(**dict(self.workload_kwargs))
@@ -74,6 +79,7 @@ def make_job(
     software: str = "flexible",
     track_worker_sets: bool = False,
     attribution: bool = False,
+    invalidation_mode: str = "parallel",
 ) -> SimJob:
     """Build a :class:`SimJob`, normalising kwargs and machine params.
 
@@ -96,6 +102,7 @@ def make_job(
         software=software,
         track_worker_sets=track_worker_sets,
         attribution=attribution,
+        invalidation_mode=invalidation_mode,
     )
 
 
@@ -123,6 +130,9 @@ def canonical_dict(job: SimJob) -> Dict[str, Any]:
         # Added only when enabled: plain jobs keep their historical
         # canonical form, keys, and cache entries.
         doc["attribution"] = True
+    if job.invalidation_mode != "parallel":
+        # Same append-only rule: the default mode keeps its key.
+        doc["invalidation_mode"] = job.invalidation_mode
     return doc
 
 
@@ -183,6 +193,7 @@ def execute_job(job: SimJob, check_invariants: bool = False,
         protocol=job.protocol,
         software=job.software,
         track_worker_sets=job.track_worker_sets,
+        invalidation_mode=job.invalidation_mode,
         dispatch=dispatch,
         shards=shards,
     )

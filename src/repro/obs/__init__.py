@@ -48,6 +48,7 @@ from repro.obs.timeseries import IntervalRow, IntervalSampler
 from repro.obs.export import (
     TraceCollector,
     chrome_trace,
+    dumps_json,
     metrics_dict,
     write_json,
 )
@@ -61,14 +62,17 @@ from repro.obs.attribution import (
 )
 from repro.obs.fleet import (
     FLEETLOG_SCHEMA,
+    FleetLogWriter,
     FleetMonitor,
     FleetTelemetry,
     ProgressPrinter,
     RunProgress,
     format_fleet_summary,
     load_eta_hints,
+    load_rate_hint,
     prometheus_snapshot,
     read_fleet_log,
+    replay_fleet_log,
     summarize_fleet_log,
     validate_event,
 )
@@ -88,6 +92,7 @@ __all__ = [
     "IntervalSampler",
     "TraceCollector",
     "chrome_trace",
+    "dumps_json",
     "metrics_dict",
     "write_json",
     "SpanCollector",
@@ -99,14 +104,17 @@ __all__ = [
     "attribute_stall",
     "attribution_dict",
     "FLEETLOG_SCHEMA",
+    "FleetLogWriter",
     "FleetMonitor",
     "FleetTelemetry",
     "ProgressPrinter",
     "RunProgress",
     "format_fleet_summary",
     "load_eta_hints",
+    "load_rate_hint",
     "prometheus_snapshot",
     "read_fleet_log",
+    "replay_fleet_log",
     "summarize_fleet_log",
     "validate_event",
 ]

@@ -270,9 +270,16 @@ def metrics_dict(stats: "RunStats",
     return doc
 
 
+def dumps_json(document: Dict[str, object]) -> str:
+    """Serialize ``document`` with a stable key order and trailing
+    newline — the one canonical artifact encoding, shared by file
+    writers and the HTTP server so identical documents produce
+    byte-identical output on every path."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
 def write_json(path: str, document: Dict[str, object]) -> None:
-    """Write ``document`` with a stable key order and trailing newline,
+    """Write ``document`` in the canonical encoding (:func:`dumps_json`),
     so identical documents produce byte-identical files."""
     with open(path, "w") as fh:
-        json.dump(document, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+        fh.write(dumps_json(document))

@@ -245,47 +245,79 @@ class FleetTelemetry:
 # ----------------------------------------------------------------------
 
 class FleetLogWriter:
-    """Append-only JSONL sink: one event per line, header line first."""
+    """Append-only JSONL sink: one event per line, header line first.
+
+    Each event is serialized to a single buffer (record plus trailing
+    newline) and appended with one ``os.write`` on an ``O_APPEND``
+    descriptor.  POSIX makes such appends atomic with respect to both
+    concurrent appenders and readers, so a live tailer (``repro status
+    --follow``, the ``repro serve`` event stream) never observes a torn
+    record, and two writers sharing a path interleave whole lines.  The
+    descriptor is unbuffered, so every event is durable on return — no
+    separate flush step exists to tear.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self._fd: Optional[int] = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         self.write(event("fleet_log", schema=FLEETLOG_SCHEMA))
 
     def write(self, doc: Dict[str, Any]) -> None:
-        if self._fh is None:
+        if self._fd is None:
             return
-        self._fh.write(json.dumps(doc, sort_keys=True,
-                                  separators=(",", ":")) + "\n")
-        self._fh.flush()
+        data = (json.dumps(doc, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        os.write(self._fd, data)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
-def read_fleet_log(path: str) -> List[Dict[str, Any]]:
+def read_fleet_log(path: str,
+                   tolerate_partial: bool = False) -> List[Dict[str, Any]]:
     """Parse and validate a fleet log; returns its events in order.
 
     Raises :class:`ValueError` on a malformed line, an invalid event,
     or a missing/mismatched ``fleet_log`` header.
+
+    With ``tolerate_partial=True`` a truncated *final* line is dropped
+    instead of raising, so a log can be read while a writer is still
+    appending to it (live tail).  :class:`FleetLogWriter` emits each
+    record and its newline in one atomic append, so a final line that
+    fails to parse or lacks its newline is a record still in flight —
+    never silently-lost data.  Corruption anywhere else still raises.
     """
     events: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                doc = json.loads(line)
-            except ValueError:
-                raise ValueError(
-                    f"{path}:{lineno}: not valid JSON") from None
-            try:
-                events.append(validate_event(doc))
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from None
+        text = fh.read()
+    complete = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        is_final = index == last
+        if tolerate_partial and is_final and not complete:
+            break
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            if tolerate_partial and is_final:
+                break
+            raise ValueError(
+                f"{path}:{index + 1}: not valid JSON") from None
+        try:
+            events.append(validate_event(doc))
+        except ValueError as exc:
+            if tolerate_partial and is_final:
+                break
+            raise ValueError(f"{path}:{index + 1}: {exc}") from None
     if not events or events[0]["event"] != "fleet_log":
         raise ValueError(f"{path}: missing fleet_log header line")
     return events
@@ -328,6 +360,7 @@ class FleetMonitor:
         self._on_line = on_line
         self._lock = threading.Lock()
         self._seq = 0
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
         self.events_handled = 0
 
         self.workers: Optional[int] = None
@@ -391,6 +424,37 @@ class FleetMonitor:
         if self._log is not None:
             self._log.close()
 
+    # -- subscribers ----------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[Dict[str, Any]], None],
+    ) -> Callable[[Dict[str, Any]], None]:
+        """Fan every ingested event out to ``callback``.
+
+        Callbacks receive the sequenced event dict (``seq`` assigned),
+        after aggregation, in ingestion order — the same stream the
+        JSONL log records.  They run on whichever thread called
+        :meth:`handle` while the monitor lock is held, so they must be
+        quick, must not block, and must not re-enter the monitor; hand
+        the event off to a queue for anything heavier (the ``repro
+        serve`` SSE stream does exactly that).  A raising subscriber is
+        dropped from the stream, never the sweep.  Returns ``callback``
+        so the result can be kept for :meth:`unsubscribe`.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(
+        self, callback: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        """Stop delivering events to ``callback`` (no-op if unknown)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
     # -- ingestion ------------------------------------------------------
 
     def handle(self, doc: Dict[str, Any]) -> None:
@@ -405,6 +469,18 @@ class FleetMonitor:
                 self._log.write(doc)
             self._apply(doc)
             self._maybe_render(doc["event"])
+            if self._subscribers:
+                broken: List[Callable[[Dict[str, Any]], None]] = []
+                for callback in list(self._subscribers):
+                    try:
+                        callback(doc)
+                    except Exception:  # noqa: BLE001 - side channel
+                        broken.append(callback)
+                for callback in broken:
+                    try:
+                        self._subscribers.remove(callback)
+                    except ValueError:
+                        pass
 
     def _apply(self, doc: Dict[str, Any]) -> None:
         kind = doc["event"]
@@ -521,6 +597,9 @@ class FleetMonitor:
                 for key, per_shard in sorted(self.running_shards.items())
             },
             "wall_s": round(self.elapsed_s(), 6),
+            "eta_s": (round(self.eta_seconds(), 3)
+                      if self.eta_seconds() is not None
+                      and self.finished is None else None),
             "sim_cycles_per_sec": round(self.throughput(), 1),
             "peak_rss_kb": self.peak_rss_kb,
             "sections": list(self.sections_seen),
@@ -618,11 +697,15 @@ class ProgressPrinter:
 # Log replay, summaries, exports
 # ----------------------------------------------------------------------
 
-def summarize_fleet_log(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Replay ``events`` through a fresh monitor; returns its summary.
+def replay_fleet_log(events: Sequence[Dict[str, Any]]) -> FleetMonitor:
+    """Replay logged ``events`` through a fresh monitor and return it.
 
-    Elapsed time comes from the event timestamps, so summarizing a log
-    is itself deterministic given the log.
+    Elapsed time comes from the event timestamps, so replaying a log is
+    itself deterministic given the log.  The returned monitor exposes
+    the full live API — :meth:`FleetMonitor.summary`,
+    :meth:`FleetMonitor.render_progress` — which is how ``repro status
+    --follow`` re-renders the progress line of a sweep it is only
+    watching through the log file.
     """
     monitor = FleetMonitor()
     for doc in events:
@@ -631,7 +714,12 @@ def summarize_fleet_log(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         doc = dict(doc)
         doc.pop("seq", None)
         monitor.handle(doc)
-    return monitor.summary()
+    return monitor
+
+
+def summarize_fleet_log(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Replay ``events`` through a fresh monitor; returns its summary."""
+    return replay_fleet_log(events).summary()
 
 
 def format_fleet_summary(summary: Dict[str, Any],
@@ -747,6 +835,23 @@ def load_eta_hints(path: str = DEFAULT_ETA_HINTS) -> Optional[Dict[str, float]]:
         per_driver = doc["drivers"]["per_driver"]
         return {name: float(timing["serial_s"])
                 for name, timing in per_driver.items()}
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def load_rate_hint(path: str = DEFAULT_ETA_HINTS) -> Optional[float]:
+    """Reference simulated-cycles-per-second from the BENCH record.
+
+    The engine's measured single-worker throughput, used by ``repro
+    serve`` as the rate prior for per-job ETAs before the first
+    heartbeat arrives.  Returns ``None`` when the record is missing or
+    unreadable — like the section hints, a nicety only.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        rate = float(doc["engine"]["worker_reference"]["sim_cycles_per_sec"])
+        return rate if rate > 0 else None
     except (OSError, ValueError, KeyError, TypeError):
         return None
 

@@ -1,0 +1,581 @@
+"""The experiment-farm server: HTTP routes over a :class:`FarmExecutor`.
+
+``repro serve`` turns the deterministic runner into a long-lived
+service.  Clients POST experiment specs; the server coalesces them
+against the on-disk result cache, the in-process memo, and — the part
+only a service needs — *currently executing* jobs, so two clients
+submitting the same spec concurrently trigger exactly one simulation
+and share its result.  Because the simulator is deterministic and all
+artifact encodings are canonical, every byte the server returns is
+identical to what the CLI writes for the same spec, at any worker
+count (CI ``cmp``-gates this).
+
+The observability plane rides the same :class:`FleetMonitor` the CLI
+sweeps use:
+
+- ``GET /events`` — Server-Sent Events relaying the live
+  ``repro-fleetlog/1`` stream (the exact records the JSONL log gets);
+- ``GET /metrics`` — Prometheus text exposition of the fleet summary;
+- ``GET /jobs/<key>`` — per-job status with a cycles-based ETA;
+- ``GET /jobs/<key>/artifact`` — the ``repro-attribution/1`` document
+  of a completed attributed job, in canonical encoding.
+
+Threading model: the asyncio loop owns all server state (records,
+stream subscriber queues).  Fleet events arrive on executor threads
+under the monitor lock and are bounced onto the loop with
+``call_soon_threadsafe``; blocking farm calls run in the loop's
+default thread pool.  Nothing here reads a wall clock — job timing
+comes from the event envelope timestamps the telemetry layer already
+stamps, so the determinism lint holds for this package too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+from repro.analysis.reportgen import PRESETS, SECTIONS, analyze_doc
+from repro.exec.jobs import SimJob, canonical_dict, job_key
+from repro.exec.pool import FarmExecutor
+from repro.obs.export import dumps_json
+from repro.obs.fleet import FleetMonitor, prometheus_snapshot
+from repro.serve.http import (
+    HttpError,
+    HttpServer,
+    Request,
+    Response,
+    StreamResponse,
+)
+from repro.serve.specs import (
+    SERVE_SCHEMA,
+    SpecError,
+    analyze_request,
+    job_from_spec,
+)
+
+#: Wall seconds between SSE keep-alive comments on an idle stream.
+STREAM_KEEPALIVE_S = 15.0
+
+#: Events buffered per /events subscriber before old-drop.
+STREAM_QUEUE_SIZE = 4096
+
+_ENDPOINTS = {
+    "GET /": "this index",
+    "GET /healthz": "liveness probe",
+    "GET /status": "farm counters + fleet summary + job table",
+    "GET /metrics": "Prometheus text exposition",
+    "GET /events": "live fleet event stream (Server-Sent Events)",
+    "GET /jobs": "all submitted jobs",
+    "POST /jobs": "submit an experiment spec (?wait=1 blocks)",
+    "GET /jobs/<key>": "one job's status and result",
+    "GET /jobs/<key>/artifact": "repro-attribution/1 artifact",
+    "POST /analyze": "run + attribute (byte-identical to repro analyze)",
+    "POST /experiments": "render EXPERIMENTS.md through the farm",
+}
+
+
+class _JobRecord:
+    """Everything the server knows about one job key."""
+
+    __slots__ = ("key", "spec", "future", "submissions", "sources",
+                 "phase", "workload", "n_nodes", "started_t", "last_t",
+                 "cycles", "finished_row", "error")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.spec: Optional[Dict[str, Any]] = None
+        self.future = None
+        self.submissions = 0
+        self.sources: List[str] = []
+        self.phase = "queued"  # event-derived; future wins when present
+        self.workload: Optional[str] = None
+        self.n_nodes: Optional[int] = None
+        self.started_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+        self.cycles = 0
+        self.finished_row: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+
+class FarmServer:
+    """HTTP front-end binding a farm, a monitor, and a socket."""
+
+    def __init__(self, farm: FarmExecutor, monitor: FleetMonitor,
+                 host: str = "127.0.0.1", port: int = 0,
+                 rate_hint: Optional[float] = None) -> None:
+        self.farm = farm
+        self.monitor = monitor
+        self.rate_hint = rate_hint
+        self._http = HttpServer(self.handle, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._relay = None
+        # Loop-thread-only state:
+        self._records: Dict[str, _JobRecord] = {}
+        self._order: List[str] = []
+        self._streams: List[asyncio.Queue] = []
+        #: (workload, n_nodes) -> last observed run_cycles, the ETA
+        #: denominator for repeat experiments of the same family.
+        self._expected_cycles: Dict[Tuple[str, int], int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._http.host
+
+    @property
+    def port(self) -> int:
+        return self._http.port
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._relay = self.monitor.subscribe(self._on_fleet_event)
+        await self._http.start()
+
+    async def close(self) -> None:
+        if self._relay is not None:
+            self.monitor.unsubscribe(self._relay)
+            self._relay = None
+        await self._http.close()
+        for queue in list(self._streams):
+            _queue_put(queue, None)  # wake streams so they can exit
+
+    async def serve_forever(self) -> None:
+        """Start and block until cancelled (the CLI entry point)."""
+        await self.start()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await self.close()
+
+    # -- fleet event ingestion ----------------------------------------
+
+    def _on_fleet_event(self, doc: Dict[str, Any]) -> None:
+        """Monitor subscriber: runs on farm threads, under the monitor
+        lock — just bounce the event to the loop thread."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._ingest, doc)
+        except RuntimeError:  # loop shut down mid-flight
+            pass
+
+    def _ingest(self, doc: Dict[str, Any]) -> None:
+        kind = doc.get("event")
+        key = doc.get("key")
+        if isinstance(key, str):
+            record = self._record_for(key)
+            t = doc.get("t")
+            record.last_t = t
+            if kind == "job_started":
+                record.phase = "running"
+                record.started_t = t
+                record.cycles = 0
+                workload = doc.get("workload")
+                n_nodes = doc.get("n_nodes")
+                if isinstance(workload, str):
+                    record.workload = workload
+                if isinstance(n_nodes, int):
+                    record.n_nodes = n_nodes
+            elif kind == "job_progress":
+                record.cycles = doc.get("cycles", record.cycles)
+            elif kind == "job_finished":
+                record.phase = "done"
+                record.finished_row = {
+                    "wall_s": doc.get("wall_s"),
+                    "run_cycles": doc.get("run_cycles"),
+                    "sim_cycles_per_sec": doc.get("sim_cycles_per_sec"),
+                }
+                run_cycles = doc.get("run_cycles")
+                if record.workload is not None \
+                        and record.n_nodes is not None \
+                        and isinstance(run_cycles, int):
+                    family = (record.workload, record.n_nodes)
+                    self._expected_cycles[family] = run_cycles
+            elif kind == "job_failed":
+                record.phase = "failed"
+                record.error = doc.get("error")
+        for queue in list(self._streams):
+            _queue_put(queue, doc)
+
+    def _record_for(self, key: str) -> _JobRecord:
+        record = self._records.get(key)
+        if record is None:
+            record = _JobRecord(key)
+            self._records[key] = record
+            self._order.append(key)
+        return record
+
+    # -- derived job state --------------------------------------------
+
+    def _eta_s(self, record: _JobRecord) -> Optional[float]:
+        """Remaining wall seconds for a running job, if estimable.
+
+        Expected total cycles come from the last completed job of the
+        same (workload, n_nodes) family; the rate is the job's own
+        heartbeat-observed cycles/second, falling back to the BENCH
+        worker-reference rate hint.  All timing reads event-envelope
+        timestamps — the server never samples a clock.
+        """
+        expected = None
+        if record.workload is not None and record.n_nodes is not None:
+            expected = self._expected_cycles.get(
+                (record.workload, record.n_nodes))
+        if expected is None:
+            return None
+        remaining = max(0, expected - record.cycles)
+        rate = None
+        if record.cycles > 0 and record.started_t is not None \
+                and record.last_t is not None \
+                and record.last_t > record.started_t:
+            rate = record.cycles / (record.last_t - record.started_t)
+        if rate is None or rate <= 0:
+            rate = self.rate_hint
+        if rate is None or rate <= 0:
+            return None
+        return round(remaining / rate, 3)
+
+    def _job_doc(self, record: _JobRecord,
+                 with_result: bool = True) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema": SERVE_SCHEMA,
+            "key": record.key,
+            "submissions": record.submissions,
+            "sources": list(record.sources),
+            "location": f"/jobs/{record.key}",
+        }
+        if record.spec is not None:
+            doc["spec"] = record.spec
+        state = record.phase
+        stats = None
+        future = record.future
+        if future is not None and future.done():
+            error = (future.exception()
+                     if not future.cancelled() else None)
+            if future.cancelled():
+                state, doc["error"] = "failed", "cancelled"
+            elif error is not None:
+                state, doc["error"] = "failed", f"{type(error).__name__}: {error}"
+            else:
+                state, stats = "done", future.result()
+        elif state == "failed" and record.error is not None:
+            doc["error"] = record.error
+        if state == "running":
+            doc["cycles"] = record.cycles
+            doc["eta_s"] = self._eta_s(record)
+        if state == "done" and record.finished_row is not None:
+            doc["timing"] = dict(record.finished_row)
+        doc["state"] = state
+        if stats is not None and with_result:
+            doc["result"] = {
+                "run_cycles": stats.run_cycles,
+                "n_nodes": stats.n_nodes,
+                "speedup": round(stats.speedup, 4),
+                "utilization": round(stats.processor_utilization, 4),
+            }
+            if stats.attribution is not None:
+                # The completed-job payload carries the attribution
+                # artifact itself, plus its canonical-bytes endpoint.
+                doc["attribution"] = stats.attribution
+                doc["artifact"] = f"/jobs/{record.key}/artifact"
+        return doc
+
+    # -- routing -------------------------------------------------------
+
+    async def handle(self, request: Request):
+        parts = [part for part in request.path.split("/") if part]
+        if not parts:
+            return _json({"schema": SERVE_SCHEMA, "endpoints": _ENDPOINTS})
+        head = parts[0]
+        if head == "healthz" and len(parts) == 1:
+            _expect(request, "GET")
+            return _json({"ok": True})
+        if head == "status" and len(parts) == 1:
+            _expect(request, "GET")
+            return self._status()
+        if head == "metrics" and len(parts) == 1:
+            _expect(request, "GET")
+            text = prometheus_snapshot(self.monitor.summary())
+            return Response(text.encode("utf-8"),
+                            content_type="text/plain; version=0.0.4")
+        if head == "events" and len(parts) == 1:
+            _expect(request, "GET")
+            return StreamResponse(self._event_stream())
+        if head == "jobs":
+            return await self._jobs_route(request, parts)
+        if head == "analyze" and len(parts) == 1:
+            _expect(request, "POST")
+            return await self._analyze(request)
+        if head == "experiments" and len(parts) == 1:
+            _expect(request, "POST")
+            return await self._experiments(request)
+        raise HttpError(404, f"no such endpoint: {request.path}")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _status(self) -> Response:
+        server: Dict[str, Any] = {"workers": self.farm.n_workers,
+                                  "worker_pool": self.farm.worker_pool}
+        server.update(self.farm.counters())
+        return _json({
+            "schema": SERVE_SCHEMA,
+            "server": server,
+            "summary": self.monitor.summary(),
+            "jobs": [self._job_doc(self._records[key], with_result=False)
+                     for key in self._order],
+        })
+
+    async def _jobs_route(self, request: Request, parts: List[str]):
+        if len(parts) == 1:
+            if request.method == "POST":
+                return await self._submit(request)
+            _expect(request, "GET")
+            return _json({
+                "schema": SERVE_SCHEMA,
+                "jobs": [self._job_doc(self._records[key],
+                                       with_result=False)
+                         for key in self._order],
+            })
+        record = self._records.get(parts[1])
+        if record is None:
+            raise HttpError(404, f"unknown job key: {parts[1]}")
+        if len(parts) == 2:
+            _expect(request, "GET")
+            return _json(self._job_doc(record))
+        if len(parts) == 3 and parts[2] == "artifact":
+            _expect(request, "GET")
+            return self._artifact(record)
+        raise HttpError(404, f"no such endpoint: {request.path}")
+
+    async def _submit(self, request: Request) -> Response:
+        try:
+            job = job_from_spec(request.json())
+        except SpecError as exc:
+            raise HttpError(400, str(exc))
+        submission = await self._farm_submit(job)
+        record = self._record_for(submission.key)
+        record.future = submission.future
+        record.submissions += 1
+        record.sources.append(submission.source)
+        if record.spec is None:
+            record.spec = canonical_dict(job)
+        if request.flag("wait"):
+            await _outcome(submission.future)
+            return _json(self._job_doc(record))
+        return _json(self._job_doc(record), status=202)
+
+    def _artifact(self, record: _JobRecord) -> Response:
+        future = record.future
+        if future is None or not future.done():
+            raise HttpError(409, f"job {record.key} has not finished")
+        if future.cancelled() or future.exception() is not None:
+            raise HttpError(409, f"job {record.key} failed; no artifact")
+        stats = future.result()
+        if stats.attribution is None:
+            raise HttpError(
+                404,
+                f"job {record.key} carries no attribution artifact; "
+                f'submit with {{"attribution": true}}')
+        return Response(dumps_json(stats.attribution).encode("utf-8"))
+
+    async def _analyze(self, request: Request) -> Response:
+        try:
+            job, config = analyze_request(request.json(default={}))
+        except SpecError as exc:
+            raise HttpError(400, str(exc))
+        submission = await self._farm_submit(job)
+        record = self._record_for(submission.key)
+        record.future = submission.future
+        record.submissions += 1
+        record.sources.append(submission.source)
+        if record.spec is None:
+            record.spec = canonical_dict(job)
+        stats = await _outcome(submission.future)
+        doc = analyze_doc(stats.attribution, config,
+                          stats.run_cycles, stats.speedup)
+        return Response(dumps_json(doc).encode("utf-8"))
+
+    async def _experiments(self, request: Request) -> Response:
+        body = request.json(default={})
+        if not isinstance(body, dict):
+            raise HttpError(400, "experiments spec must be a JSON object")
+        unknown = [key for key in sorted(body)
+                   if key not in ("preset", "attribution")]
+        if unknown:
+            raise HttpError(
+                400, f"unknown experiments field(s): {', '.join(unknown)}")
+        preset = body.get("preset", "quick")
+        if preset not in PRESETS:
+            raise HttpError(
+                400, f"unknown preset {preset!r}; "
+                     f"choose from {', '.join(sorted(PRESETS))}")
+        attribution = body.get("attribution", False)
+        if not isinstance(attribution, bool):
+            raise HttpError(400, "attribution must be a boolean")
+        runner = _FarmRunnerView(self.farm, attribution)
+        label_to_key = {label: key for key, label in SECTIONS}
+
+        def _progress(line: str) -> None:
+            section = label_to_key.get(line)
+            if section is not None:
+                self.monitor.section(section)
+
+        from repro.analysis.reportgen import render_experiments_md
+
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(
+            None, lambda: render_experiments_md(
+                runner=runner, preset=preset, progress=_progress))
+        return Response(text.encode("utf-8"),
+                        content_type="text/markdown; charset=utf-8")
+
+    # -- the SSE plane -------------------------------------------------
+
+    async def _event_stream(self) -> AsyncIterator[bytes]:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=STREAM_QUEUE_SIZE)
+        self._streams.append(queue)
+        try:
+            yield b": repro-serve fleet event stream\n\n"
+            yield _sse("summary", self.monitor.summary())
+            while True:
+                try:
+                    doc = await asyncio.wait_for(
+                        queue.get(), timeout=STREAM_KEEPALIVE_S)
+                except asyncio.TimeoutError:
+                    yield b": keep-alive\n\n"
+                    continue
+                if doc is None:  # server shutting down
+                    return
+                yield _sse(doc.get("event", "fleet"), doc,
+                           event_id=doc.get("seq"))
+        finally:
+            try:
+                self._streams.remove(queue)
+            except ValueError:
+                pass
+
+    # -- helpers -------------------------------------------------------
+
+    async def _farm_submit(self, job: SimJob):
+        """Run the (locking, possibly disk-touching) submit off-loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.farm.submit, job)
+
+
+class _FarmRunnerView:
+    """JobRunner-shaped view of a farm for the experiment drivers."""
+
+    def __init__(self, farm: FarmExecutor, attribution: bool) -> None:
+        self._farm = farm
+        self._attribution = attribution
+
+    def run(self, plan):
+        return self._farm.run(plan, attribution=self._attribution)
+
+
+def _json(doc: Dict[str, Any], status: int = 200) -> Response:
+    return Response(dumps_json(doc).encode("utf-8"), status=status)
+
+
+def _sse(event: str, doc: Dict[str, Any],
+         event_id: Optional[int] = None) -> bytes:
+    data = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    lines.append(f"data: {data}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def _queue_put(queue: "asyncio.Queue", doc) -> None:
+    """Non-blocking put; a full (stalled) subscriber drops oldest."""
+    try:
+        queue.put_nowait(doc)
+    except asyncio.QueueFull:
+        try:
+            queue.get_nowait()
+        except asyncio.QueueEmpty:
+            pass
+        try:
+            queue.put_nowait(doc)
+        except asyncio.QueueFull:
+            pass
+
+
+async def _outcome(future) -> Any:
+    """Await a concurrent future; failures become clean HTTP errors."""
+    try:
+        return await asyncio.wrap_future(future)
+    except Exception as exc:  # noqa: BLE001 - job failure, not a server bug
+        raise HttpError(500, f"job failed: {type(exc).__name__}: {exc}")
+
+
+class ServerThread:
+    """Run a :class:`FarmServer` on a dedicated loop thread.
+
+    The embedding story for tests and tools: start, read the bound
+    port, talk HTTP from the calling thread, stop.  The server loop is
+    private to the thread; stop() trips an event on it and joins.
+    """
+
+    def __init__(self, server: FarmServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._failure}")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop, stop, thread = self._loop, self._stop, self._thread
+        if loop is None or stop is None or thread is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass
+        thread.join(timeout)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        finally:
+            self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.close()
+
+
+def _expect(request: Request, method: str) -> None:
+    if request.method != method:
+        raise HttpError(
+            405, f"{request.path} supports {method}, not {request.method}")

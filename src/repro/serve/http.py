@@ -1,0 +1,311 @@
+"""Minimal asyncio HTTP/1.1 layer for ``repro serve``.
+
+Stdlib only, by design: the repository's hard rule is that every
+front-end — CLI, tools, and now the server — runs on a bare Python
+install, so this module implements the small slice of HTTP/1.1 the
+experiment farm needs instead of importing a web framework:
+
+- request parsing (request line, headers, ``Content-Length`` bodies)
+  with bounded header and body sizes;
+- keep-alive: one connection serves many requests in order;
+- fixed responses with ``Content-Length``; and
+- **chunked streaming responses** for the live ``/events`` plane: an
+  async byte iterator is relayed to the client as HTTP/1.1 chunks as
+  fast as it yields, which is what carries Server-Sent Events.
+
+The layer is application-agnostic: :class:`HttpServer` takes one async
+``handler(request) -> Response | StreamResponse`` and does the rest.
+Handler errors surface as :class:`HttpError` (clean status + message)
+or are mapped to 500 without killing the connection loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+from urllib.parse import parse_qs, urlsplit
+
+#: Request line + headers must fit in this many bytes.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Largest accepted request body (experiment specs are tiny).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Raise from a handler to answer with a clean error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method: str, target: str,
+                 headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = split.path or "/"
+        self.query: Dict[str, List[str]] = parse_qs(split.query)
+        self.headers = headers
+        self.body = body
+
+    def json(self, default: object = None) -> object:
+        """The body parsed as JSON; 400 on garbage.
+
+        An empty body returns ``default`` so optional-body endpoints
+        (``POST /experiments``) accept a bare POST.
+        """
+        import json
+
+        if not self.body:
+            return default
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    def flag(self, name: str) -> bool:
+        """True when query parameter ``name`` is present and truthy."""
+        values = self.query.get(name)
+        if not values:
+            return False
+        return values[-1].lower() not in ("", "0", "false", "no")
+
+
+class Response:
+    """A complete response: status, body, content type."""
+
+    def __init__(self, body: bytes = b"", status: int = 200,
+                 content_type: str = "application/json",
+                 headers: Optional[List[Tuple[str, str]]] = None) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = list(headers or [])
+
+
+class StreamResponse:
+    """A chunked streaming response fed by an async byte iterator.
+
+    The connection switches to ``Transfer-Encoding: chunked`` and
+    relays every yielded buffer immediately (each is one chunk).  The
+    stream ends when the iterator does or the client disconnects —
+    either way the iterator is closed, so its ``finally`` blocks run
+    (subscription cleanup relies on this).  Streamed connections do not
+    keep-alive: the stream is the last response on the socket.
+    """
+
+    def __init__(self, source: AsyncIterator[bytes],
+                 content_type: str = "text/event-stream") -> None:
+        self.source = source
+        self.content_type = content_type
+
+
+Handler = Callable[[Request], Awaitable[Union[Response, StreamResponse]]]
+
+
+def _head(status: int, content_type: str,
+          extra: List[Tuple[str, str]]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}"]
+    for name, value in extra:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the wire; ``None`` on clean EOF."""
+    try:
+        raw = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"headers exceed {MAX_HEADER_BYTES} bytes")
+    try:
+        head = raw.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head")
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method, target, headers, body)
+
+
+class HttpServer:
+    """One handler, one listening socket, many keep-alive connections."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when 0."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except HttpError as exc:
+                    await self._write_error(writer, exc)
+                    return
+                if request is None:
+                    return
+                try:
+                    response = await self.handler(request)
+                except HttpError as exc:
+                    await self._write_error(
+                        writer, exc,
+                        keep_alive=_wants_keep_alive(request))
+                    if not _wants_keep_alive(request):
+                        return
+                    continue
+                except Exception as exc:  # noqa: BLE001 - surface as 500
+                    await self._write_error(
+                        writer, HttpError(500, f"internal error: {exc}"))
+                    return
+                if isinstance(response, StreamResponse):
+                    await self._write_stream(writer, response)
+                    return
+                await self._write_response(writer, response)
+                if not _wants_keep_alive(request):
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already torn down
+                pass
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              response: Response) -> None:
+        extra = list(response.headers)
+        extra.append(("Content-Length", str(len(response.body))))
+        writer.write(_head(response.status, response.content_type, extra))
+        writer.write(response.body)
+        await writer.drain()
+
+    async def _write_error(self, writer: asyncio.StreamWriter,
+                           exc: HttpError,
+                           keep_alive: bool = False) -> None:
+        import json
+
+        body = (json.dumps({"error": exc.message}, sort_keys=True)
+                + "\n").encode("utf-8")
+        extra: List[Tuple[str, str]] = [
+            ("Content-Length", str(len(body)))]
+        if not keep_alive:
+            extra.append(("Connection", "close"))
+        try:
+            writer.write(_head(exc.status, "application/json", extra))
+            writer.write(body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    async def _write_stream(self, writer: asyncio.StreamWriter,
+                            response: StreamResponse) -> None:
+        writer.write(_head(200, response.content_type, [
+            ("Transfer-Encoding", "chunked"),
+            ("Cache-Control", "no-store"),
+            ("Connection", "close"),
+        ]))
+        source = response.source
+        try:
+            await writer.drain()
+            async for chunk in source:
+                if not chunk:
+                    continue
+                writer.write(b"%x\r\n" % len(chunk))
+                writer.write(chunk)
+                writer.write(b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            closer = getattr(source, "aclose", None)
+            if closer is not None:
+                try:
+                    await closer()
+                except Exception:  # noqa: BLE001 - cleanup only
+                    pass
+
+
+def _wants_keep_alive(request: Request) -> bool:
+    return request.headers.get("connection", "").lower() != "close"

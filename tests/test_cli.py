@@ -432,3 +432,50 @@ class TestExperimentsAttribution:
             doc = json.loads(entry.read_text())
             stats = doc.get("stats", doc)
             assert "attribution" in stats
+
+
+class TestStatusFollow:
+    def _finished_log(self, tmp_path):
+        from repro.obs.fleet import FleetLogWriter, event
+
+        path = tmp_path / "sweep.jsonl"
+        writer = FleetLogWriter(str(path))
+        writer.write(event("sweep_started", jobs=1, seq=1))
+        writer.write(event("job_queued", key="k", seq=2))
+        writer.write(event("job_started", key="k", pid=1, seq=3))
+        writer.write(event("job_finished", key="k", pid=1, wall_s=0.5,
+                           run_cycles=1000, sim_cycles_per_sec=2000.0,
+                           seq=4))
+        writer.write(event("sweep_finished", wall_s=0.5,
+                           jobs_executed=1, seq=5))
+        writer.close()
+        return path
+
+    def test_follow_exits_when_sweep_finishes(self, capsys, tmp_path):
+        log = self._finished_log(tmp_path)
+        code, out = run_cli(capsys, "status", str(log), "--follow",
+                            "--interval", "0.01")
+        assert code == 0
+        assert "jobs: 1 completed" in out
+
+    def test_follow_tolerates_a_torn_tail(self, tmp_path):
+        from repro.cli import _follow_fleet_log
+        from repro.obs.fleet import FleetLogWriter, event
+
+        path = tmp_path / "sweep.jsonl"
+        writer = FleetLogWriter(str(path))
+        writer.write(event("sweep_started", jobs=1, seq=1))
+        writer.close()
+        with open(path, "a") as fh:
+            fh.write('{"event":"job_st')  # writer mid-append
+        out = (tmp_path / "lines.txt").open("w")
+        code = _follow_fleet_log(str(path), interval=0.01,
+                                 stream=out, max_polls=2)
+        out.close()
+        assert code == 0
+        assert "0/0 jobs" in (tmp_path / "lines.txt").read_text()
+
+    def test_follow_missing_file_exits_2(self, capsys, tmp_path):
+        code, _out = run_cli(capsys, "status",
+                             str(tmp_path / "nope.jsonl"), "--follow")
+        assert code == 2

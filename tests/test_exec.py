@@ -350,3 +350,210 @@ class TestRunOneConflict:
         stats = run_one(WorkerBenchmark(**TINY), "DirnH5SNB",
                         params=MachineParams(n_nodes=16))
         assert stats.n_nodes == 16
+
+
+# ----------------------------------------------------------------------
+# invalidation_mode as a spec dimension
+# ----------------------------------------------------------------------
+
+class TestInvalidationModeSpec:
+    def test_default_mode_keeps_historical_canonical_form(self):
+        job = tiny_job()
+        assert "invalidation_mode" not in canonical_json(job)
+        explicit = make_job(WorkerBenchmark, TINY, protocol="DirnH5SNB",
+                            n_nodes=16, invalidation_mode="parallel")
+        assert job_key(explicit) == job_key(job)
+
+    def test_non_default_mode_changes_the_key(self):
+        base = tiny_job()
+        seq = make_job(WorkerBenchmark, TINY, protocol="DirnH5SNB",
+                       n_nodes=16, invalidation_mode="sequential")
+        assert job_key(seq) != job_key(base)
+        assert '"invalidation_mode":"sequential"' in canonical_json(seq)
+
+    def test_mode_reaches_the_machine(self):
+        kwargs = dict(worker_set_size=4, iterations=1)
+        par = make_job(WorkerBenchmark, kwargs, protocol="DirnH2SNB",
+                       n_nodes=16)
+        seq = make_job(WorkerBenchmark, kwargs, protocol="DirnH2SNB",
+                       n_nodes=16, invalidation_mode="sequential")
+        # Sequential invalidations serialize the fan-out, so the same
+        # workload costs more cycles — proof the dimension is live.
+        assert execute_job(seq).run_cycles > execute_job(par).run_cycles
+
+
+# ----------------------------------------------------------------------
+# plan_unique: dedup shared by JobRunner and FarmExecutor
+# ----------------------------------------------------------------------
+
+class TestPlanUnique:
+    def test_coalesces_duplicates_in_first_appearance_order(self):
+        from repro.exec.pool import plan_unique
+
+        a, b = tiny_job(), tiny_job(protocol="full-map")
+        aliases, unique, dups = plan_unique([a, b, a, a])
+        assert dups == 2
+        assert list(unique) == [job_key(a), job_key(b)]
+        assert aliases == {job_key(a): job_key(a),
+                           job_key(b): job_key(b)}
+
+    def test_attribution_upgrade_aliases_plain_keys(self):
+        import dataclasses
+
+        from repro.exec.pool import plan_unique
+
+        plain = tiny_job()
+        attributed = dataclasses.replace(plain, attribution=True)
+        aliases, unique, dups = plan_unique([plain], attribution=True)
+        assert aliases == {job_key(plain): job_key(attributed)}
+        assert list(unique) == [job_key(attributed)]
+        assert unique[job_key(attributed)].attribution
+
+
+# ----------------------------------------------------------------------
+# FarmExecutor: the long-running service executor
+# ----------------------------------------------------------------------
+
+class TestFarmExecutor:
+    def test_run_matches_jobrunner_byte_for_byte(self, tmp_path):
+        from repro.exec.pool import FarmExecutor
+
+        plan = [tiny_job(), tiny_job(protocol="full-map"), tiny_job()]
+        expected = JobRunner(jobs=1).run(plan)
+        with FarmExecutor(jobs=2, worker_pool="thread") as farm:
+            got = farm.run(plan)
+        assert sorted(got) == sorted(expected)
+        for key in expected:
+            assert got[key].to_json_dict() == expected[key].to_json_dict()
+
+    def test_submit_sources_queued_memo_cache(self, tmp_path):
+        from repro.exec.pool import FarmExecutor
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = tiny_job()
+        with FarmExecutor(jobs=1, cache=cache,
+                          worker_pool="thread") as farm:
+            first = farm.submit(job)
+            stats = first.future.result(timeout=120)
+            assert first.source == "queued"
+            again = farm.submit(job)
+            assert again.source == "memo"
+            assert again.future.result(timeout=120) is stats
+        # a fresh farm sharing the cache resolves from disk
+        with FarmExecutor(jobs=1, cache=ResultCache(str(tmp_path / "cache")),
+                          worker_pool="thread") as farm:
+            warmed = farm.submit(job)
+            assert warmed.source == "cache"
+            assert warmed.future.result(timeout=120).to_json_dict() \
+                == stats.to_json_dict()
+
+    def test_concurrent_submissions_of_one_key_execute_once(
+            self, monkeypatch):
+        import threading
+
+        import repro.exec.pool as pool_mod
+        from repro.exec.pool import FarmExecutor
+
+        release = threading.Event()
+        calls = []
+        real_execute = pool_mod.execute_job
+
+        def gated_execute(job, *args, **kwargs):
+            calls.append(job_key(job))
+            assert release.wait(60)
+            return real_execute(job, *args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "execute_job", gated_execute)
+        with FarmExecutor(jobs=2, worker_pool="thread") as farm:
+            first = farm.submit(tiny_job())
+            second = farm.submit(tiny_job())
+            assert first.source == "queued"
+            assert second.source == "inflight"
+            assert second.future is first.future
+            release.set()
+            first.future.result(timeout=120)
+            counters = farm.counters()
+        assert calls == [job_key(tiny_job())]
+        assert counters["jobs_executed"] == 1
+        assert counters["inflight_hits"] == 1
+
+    def test_failed_job_surfaces_and_is_not_memoized(self, monkeypatch):
+        import repro.exec.pool as pool_mod
+        from repro.exec.pool import FarmExecutor
+
+        real_execute = pool_mod.execute_job
+        blow_up = {"armed": True}
+
+        def flaky_execute(job, *args, **kwargs):
+            if blow_up["armed"]:
+                blow_up["armed"] = False
+                raise RuntimeError("transient failure")
+            return real_execute(job, *args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "execute_job", flaky_execute)
+        with FarmExecutor(jobs=1, worker_pool="thread") as farm:
+            failed = farm.submit(tiny_job())
+            with pytest.raises(RuntimeError, match="transient"):
+                failed.future.result(timeout=120)
+            retried = farm.submit(tiny_job())
+            assert retried.source == "queued"  # failure not memoized
+            assert retried.future.result(timeout=120).run_cycles > 0
+
+    def test_close_is_idempotent(self):
+        from repro.exec.pool import FarmExecutor
+
+        farm = FarmExecutor(jobs=1, worker_pool="thread")
+        farm.submit(tiny_job()).future.result(timeout=120)
+        farm.close()
+        farm.close()
+        with pytest.raises(RuntimeError):
+            farm.submit(tiny_job())
+
+
+# ----------------------------------------------------------------------
+# Cache under racing writers
+# ----------------------------------------------------------------------
+
+class TestCacheRacingWriters:
+    def test_many_writers_one_intact_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = tiny_job()
+        stats = execute_job(job)
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait(30)
+            cache.put(job, stats)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # whoever won, the entry is whole and round-trips
+        path = cache.path_for(job)
+        json.loads(open(path, encoding="utf-8").read())
+        fresh = ResultCache(str(tmp_path / "cache"))
+        assert fresh.get(job).to_json_dict() == stats.to_json_dict()
+
+    def test_corrupt_existing_entry_is_replaced(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = tiny_job()
+        stats = execute_job(job)
+        cache.put(job, stats)
+        path = cache.path_for(job)
+        with open(path, "w") as fh:
+            fh.write("{torn")
+        cache.put(job, stats)  # CAS fallback: unreadable entry replaced
+        assert ResultCache(str(tmp_path / "cache")).get(job) is not None
+
+    def test_existing_good_entry_wins_the_race(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = tiny_job()
+        stats = execute_job(job)
+        cache.put(job, stats)
+        before = open(cache.path_for(job), "rb").read()
+        cache.put(job, stats)  # deterministic sim: same bytes either way
+        assert open(cache.path_for(job), "rb").read() == before

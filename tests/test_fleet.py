@@ -401,3 +401,236 @@ class TestRunProgress:
             return stats.run_cycles
 
         assert run(progress=False) == run(progress=True)
+
+
+# ----------------------------------------------------------------------
+# Live tail: torn-record tolerance and atomic appends
+# ----------------------------------------------------------------------
+
+class TestLiveTail:
+    def _started_log(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        writer = FleetLogWriter(path)
+        writer.write(event("sweep_started", jobs=1, seq=1))
+        writer.close()
+        return path
+
+    def test_truncated_final_line_dropped_when_tolerant(self, tmp_path):
+        path = self._started_log(tmp_path)
+        with open(path, "a") as fh:
+            fh.write('{"event":"job_queu')  # append torn mid-record
+        events = read_fleet_log(path, tolerate_partial=True)
+        assert [e["event"] for e in events] == ["fleet_log",
+                                                "sweep_started"]
+
+    def test_truncated_final_line_raises_by_default(self, tmp_path):
+        path = self._started_log(tmp_path)
+        with open(path, "a") as fh:
+            fh.write('{"event":"job_queu')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_fleet_log(path)
+
+    def test_invalid_final_line_dropped_when_tolerant(self, tmp_path):
+        path = self._started_log(tmp_path)
+        with open(path, "a") as fh:
+            fh.write(json.dumps(event("job_queued")) + "\n")  # no key
+        events = read_fleet_log(path, tolerate_partial=True)
+        assert [e["event"] for e in events] == ["fleet_log",
+                                                "sweep_started"]
+
+    def test_mid_file_corruption_still_raises_when_tolerant(self,
+                                                            tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        header = json.dumps(event("fleet_log", schema=FLEETLOG_SCHEMA))
+        good = json.dumps(event("sweep_started", jobs=1))
+        path.write_text(header + "\n{not json\n" + good + "\n")
+        with pytest.raises(ValueError, match="fleet.jsonl:2"):
+            read_fleet_log(str(path), tolerate_partial=True)
+
+    def test_every_event_is_one_atomic_append(self, tmp_path,
+                                              monkeypatch):
+        writes = []
+        real_write = os.write
+
+        def spying_write(fd, data):
+            writes.append(bytes(data))
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", spying_write)
+        writer = FleetLogWriter(str(tmp_path / "fleet.jsonl"))
+        writer.write(event("job_progress", key="k" * 4000, pid=1,
+                           cycles=5, seq=1))
+        writer.close()
+        # header + one event: each record (payload and its newline)
+        # left in exactly one os.write call — the atomicity unit.
+        assert len(writes) == 2
+        for data in writes:
+            assert data.endswith(b"\n")
+            assert data.count(b"\n") == 1
+            json.loads(data.decode("utf-8"))
+
+    def test_concurrent_writers_interleave_whole_lines(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "fleet.jsonl")
+        first = FleetLogWriter(path)  # owns the header line
+        n_each = 200
+
+        def pound(writer, tag):
+            for i in range(n_each):
+                writer.write(event("job_progress", key=tag, pid=i,
+                                   cycles=i, seq=i))
+
+        second = FleetLogWriter(path)
+        threads = [threading.Thread(target=pound, args=(first, "a")),
+                   threading.Thread(target=pound, args=(second, "b"))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        first.close()
+        second.close()
+        events = read_fleet_log(path)  # every line parses + validates
+        progress = [e for e in events if e["event"] == "job_progress"]
+        assert len(progress) == 2 * n_each
+        assert sorted(e["key"] for e in progress) == \
+            ["a"] * n_each + ["b"] * n_each
+
+
+# ----------------------------------------------------------------------
+# Monitor fan-out to subscribers (the serve /events relay)
+# ----------------------------------------------------------------------
+
+class TestMonitorSubscribers:
+    def test_subscriber_sees_sequenced_events_in_order(self):
+        monitor = FleetMonitor()
+        seen = []
+        monitor.subscribe(seen.append)
+        monitor.handle(event("sweep_started", jobs=1))
+        monitor.handle(event("job_queued", key="k"))
+        assert [e["event"] for e in seen] == ["sweep_started",
+                                             "job_queued"]
+        assert [e["seq"] for e in seen] == [0, 1]
+
+    def test_unsubscribe_stops_delivery(self):
+        monitor = FleetMonitor()
+        seen = []
+        callback = monitor.subscribe(seen.append)
+        monitor.handle(event("sweep_started", jobs=1))
+        monitor.unsubscribe(callback)
+        monitor.handle(event("job_queued", key="k"))
+        assert len(seen) == 1
+
+    def test_raising_subscriber_is_dropped_others_survive(self):
+        monitor = FleetMonitor()
+        seen = []
+
+        def broken(doc):
+            raise RuntimeError("boom")
+
+        monitor.subscribe(broken)
+        monitor.subscribe(seen.append)
+        monitor.handle(event("sweep_started", jobs=1))
+        monitor.handle(event("job_queued", key="k"))
+        # the raiser was removed after its first failure; the healthy
+        # subscriber got every event and the monitor kept aggregating
+        assert len(seen) == 2
+        assert monitor.events_handled == 2
+
+    def test_subscribers_see_the_same_stream_the_log_records(self,
+                                                             tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        monitor = FleetMonitor(log_path=path)
+        seen = []
+        monitor.subscribe(seen.append)
+        monitor.handle(event("sweep_started", jobs=2))
+        monitor.handle(event("job_queued", key="k"))
+        monitor.close()
+        logged = read_fleet_log(path)[1:]  # skip header
+        assert [json.dumps(e, sort_keys=True) for e in seen] == \
+            [json.dumps(e, sort_keys=True) for e in logged]
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition-format validity
+# ----------------------------------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+
+
+class TestPrometheusExposition:
+    def _snapshot(self, tmp_path):
+        return prometheus_snapshot(
+            summarize_fleet_log(read_fleet_log(sample_log(tmp_path))))
+
+    def test_every_line_parses(self, tmp_path):
+        import re
+
+        sample_re = re.compile(rf"^({_METRIC_NAME}) (\S+)$")
+        help_re = re.compile(rf"^# HELP ({_METRIC_NAME}) \S.*$")
+        type_re = re.compile(
+            rf"^# TYPE ({_METRIC_NAME}) (counter|gauge)$")
+        for line in self._snapshot(tmp_path).splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP"):
+                assert help_re.match(line), line
+            elif line.startswith("# TYPE"):
+                assert type_re.match(line), line
+            else:
+                match = sample_re.match(line)
+                assert match, line
+                float(match.group(2))  # value must round-trip
+
+    def test_help_and_type_precede_every_sample(self, tmp_path):
+        import re
+
+        helped, typed = set(), set()
+        for line in self._snapshot(tmp_path).splitlines():
+            if line.startswith("# HELP"):
+                helped.add(line.split()[2])
+            elif line.startswith("# TYPE"):
+                typed.add(line.split()[2])
+            elif line:
+                name = re.match(_METRIC_NAME, line).group(0)
+                assert name in helped, f"{name} sample before # HELP"
+                assert name in typed, f"{name} sample before # TYPE"
+
+    def test_no_duplicate_metric_names(self, tmp_path):
+        names = [line.split()[0]
+                 for line in self._snapshot(tmp_path).splitlines()
+                 if line and not line.startswith("#")]
+        assert len(names) == len(set(names))
+
+    def test_ends_with_newline(self, tmp_path):
+        assert self._snapshot(tmp_path).endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# ETA surfaces in the summary document
+# ----------------------------------------------------------------------
+
+class TestSummaryEta:
+    def test_eta_none_without_hints(self):
+        assert FleetMonitor().summary()["eta_s"] is None
+
+    def test_eta_present_mid_sweep_and_cleared_when_finished(self):
+        monitor = FleetMonitor(sections=["a", "b"],
+                               eta_hints={"a": 10.0, "b": 5.0})
+        assert monitor.summary()["eta_s"] == pytest.approx(15.0, abs=1.0)
+        monitor.handle(event("sweep_finished", wall_s=1.0,
+                             jobs_executed=0))
+        assert monitor.summary()["eta_s"] is None
+
+    def test_rate_hint_loads_from_committed_bench_record(self):
+        from repro.obs.fleet import load_rate_hint
+
+        rate = load_rate_hint(
+            os.path.join(os.path.dirname(__file__), os.pardir,
+                         DEFAULT_ETA_HINTS))
+        assert rate is not None and rate > 0
+
+    def test_rate_hint_missing_file_is_none(self, tmp_path):
+        from repro.obs.fleet import load_rate_hint
+
+        assert load_rate_hint(str(tmp_path / "nope.json")) is None

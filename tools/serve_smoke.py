@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` (the serve-smoke job).
+
+Boots the real server as a subprocess (``python -m repro serve``),
+then drives the two hard service invariants end to end, over actual
+sockets, against the actual CLI:
+
+1. **In-flight dedup**: two clients submit the same spec concurrently;
+   exactly one simulation runs and both receive byte-identical
+   payloads.
+2. **Byte identity with the CLI**: the ``/analyze`` document and the
+   ``/experiments`` report fetched over HTTP are compared byte-for-byte
+   against ``python -m repro analyze`` / ``python -m repro
+   experiments`` writing files — and the ``/analyze`` bytes must also
+   agree between a ``--jobs 1`` server and a ``--jobs auto`` server.
+
+Plus a sanity pass over the observability plane: ``/metrics`` carries
+the fleet exposition and ``/events`` streams the job lifecycle live.
+
+Exits non-zero (with a diagnostic) on any violation.  Stdlib only.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+TINY_SPEC = {
+    "workload": "worker",
+    "workload_kwargs": {"worker_set_size": 2, "iterations": 1},
+    "nodes": 4,
+}
+ANALYZE_SPEC = {"app": "worker", "nodes": 4, "size": 2,
+                "iterations": 1, "protocol": "DirnH2SNB"}
+ANALYZE_ARGS = ["analyze", "--app", "worker", "--nodes", "4",
+                "--size", "2", "--iterations", "1",
+                "--protocol", "DirnH2SNB"]
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def http(method, port, path, doc=None, timeout=300):
+    data = None if doc is None else json.dumps(doc).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read()
+
+
+class Server:
+    """One ``repro serve`` subprocess on a fresh port."""
+
+    def __init__(self, jobs, cache_dir, fleet_log=None):
+        self.port = free_port()
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--port", str(self.port), "--jobs", jobs,
+                "--cache-dir", cache_dir]
+        if fleet_log:
+            argv += ["--fleet-log", fleet_log]
+        # Own session/process group: if graceful shutdown ever breaks,
+        # stop() can still sweep up the farm's worker processes rather
+        # than leave orphans holding this script's stdout pipe open
+        # (which would wedge the CI step long after we exit).
+        self.proc = subprocess.Popen(argv, start_new_session=True)
+
+    def wait_ready(self, deadline_s=60):
+        t0 = time.time()
+        while time.time() - t0 < deadline_s:
+            if self.proc.poll() is not None:
+                raise SystemExit(
+                    f"server exited early: rc={self.proc.returncode}")
+            try:
+                http("GET", self.port, "/healthz", timeout=5)
+                return self
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.2)
+        raise SystemExit("server did not become healthy in time")
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"serve-smoke FAILED: {message}")
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="serve-smoke-")
+    cache_a = os.path.join(workdir, "cache-a")
+    report = {"checks": []}
+
+    def ok(name):
+        report["checks"].append(name)
+        print(f"serve-smoke: {name}: OK", flush=True)
+
+    server = Server("2", cache_a,
+                    fleet_log=os.path.join(workdir, "fleet.jsonl"))
+    try:
+        server.wait_ready()
+
+        # --- 1. concurrent same-spec submissions execute once -------
+        stream = socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=60)
+        stream.sendall(b"GET /events HTTP/1.1\r\nHost: s\r\n\r\n")
+        stream.settimeout(120)
+
+        bodies = [None, None]
+
+        def client(slot):
+            bodies[slot] = http("POST", server.port, "/jobs?wait=1",
+                                TINY_SPEC)
+
+        threads = [threading.Thread(target=client, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        check(bodies[0] is not None and bodies[0] == bodies[1],
+              "concurrent clients got different payloads")
+        docs = json.loads(bodies[0])
+        check(docs["state"] == "done", f"job not done: {docs}")
+        check(docs["submissions"] == 2,
+              f"expected 2 submissions, got {docs['submissions']}")
+        status = json.loads(http("GET", server.port, "/status"))
+        check(status["server"]["jobs_executed"] == 1,
+              f"expected exactly 1 execution, got "
+              f"{status['server']['jobs_executed']}")
+        ok("in-flight dedup (1 execution, identical payloads)")
+
+        # --- 2. observability plane ---------------------------------
+        metrics = http("GET", server.port, "/metrics").decode()
+        check("repro_fleet_jobs_completed_total 1" in metrics,
+              f"metrics missing completion counter:\n{metrics}")
+        buf = b""
+        while b"job_finished" not in buf:
+            chunk = stream.recv(65536)
+            check(chunk, "event stream closed before job_finished")
+            buf += chunk
+        check(b"event: job_started" in buf,
+              "event stream missing job_started")
+        stream.close()
+        ok("live plane (/metrics exposition, /events lifecycle)")
+
+        # --- 3. /analyze bytes == CLI bytes -------------------------
+        served_analyze = http("POST", server.port, "/analyze",
+                              ANALYZE_SPEC)
+        cli_analyze = os.path.join(workdir, "analyze-cli.json")
+        subprocess.run([sys.executable, "-m", "repro"] + ANALYZE_ARGS
+                       + ["--out", cli_analyze], check=True,
+                       stdout=subprocess.DEVNULL)
+        with open(cli_analyze, "rb") as fh:
+            check(served_analyze == fh.read(),
+                  "/analyze differs from `repro analyze` output")
+        ok("/analyze byte-identical to the CLI artifact")
+
+        # --- 4. /experiments bytes == CLI bytes ---------------------
+        served_report = http("POST", server.port, "/experiments",
+                             {"preset": "quick"}, timeout=900)
+        cli_report = os.path.join(workdir, "EXPERIMENTS.md")
+        subprocess.run([sys.executable, "-m", "repro", "experiments",
+                        "--quick", "--no-cache", "--out", cli_report],
+                       check=True, stdout=subprocess.DEVNULL)
+        with open(cli_report, "rb") as fh:
+            check(served_report == fh.read(),
+                  "/experiments differs from `repro experiments` output")
+        ok("/experiments byte-identical to the CLI report")
+    finally:
+        server.stop()
+
+    # --- 5. --jobs 1 vs --jobs auto serve identical bytes -----------
+    for jobs in ("1", "auto"):
+        other = Server(jobs, os.path.join(workdir, f"cache-{jobs}"))
+        try:
+            other.wait_ready()
+            body = http("POST", other.port, "/analyze", ANALYZE_SPEC)
+            check(body == served_analyze,
+                  f"--jobs {jobs} server served different bytes")
+        finally:
+            other.stop()
+    ok("byte-identical across --jobs 1 and --jobs auto servers")
+
+    print(f"serve-smoke: all {len(report['checks'])} checks passed")
+
+
+if __name__ == "__main__":
+    main()
